@@ -1,0 +1,61 @@
+"""Sec. V / V-C: communicated data volumes of the time stepping schemes.
+
+Regenerates the paper's comparison: the legacy derivative exchange needs
+1,575 values per element for the anelastic equations at O = 5, the
+next-generation buffer 315, and the face-local compressed MPI message 135
+values per face; plus the per-cycle halo traffic of a partitioned mesh under
+both representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import derive_clustering
+from repro.core.legacy_lts import communication_volumes
+from repro.mesh.generation import box_mesh
+from repro.parallel.exchange import build_halo, exchange_volumes_per_cycle
+from repro.parallel.partition import partition_dual_graph
+
+from conftest import record_result
+
+
+def test_comm_volume_per_scheme(benchmark):
+    volumes = benchmark.pedantic(
+        lambda: communication_volumes(order=5, n_mechanisms=3), rounds=1, iterations=1
+    )
+
+    # halo traffic of a partitioned mesh, buffer vs face-local representation
+    coords = np.linspace(0.0, 1.0, 11)
+    mesh = box_mesh(coords, coords, coords, free_surface_top=False)
+    rng = np.random.default_rng(0)
+    dts = rng.uniform(1.0, 8.0, mesh.n_elements)
+    clustering = derive_clustering(dts, 3, 1.0, mesh.neighbors)
+    partitions = partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 8).partitions
+    halo = build_halo(mesh.neighbors, partitions)
+    full = exchange_volumes_per_cycle(halo, clustering.cluster_ids, 3, order=5, face_local=False)
+    compressed = exchange_volumes_per_cycle(
+        halo, clustering.cluster_ids, 3, order=5, face_local=True
+    )
+
+    result = {
+        "per_element_values": {
+            "derivative_scheme_elastic_zero_blocks": volumes.derivative_scheme_elastic,
+            "derivative_scheme_anelastic": volumes.derivative_scheme_anelastic,
+            "next_generation_buffer": volumes.buffer_scheme,
+            "face_local_mpi_per_face": volumes.face_local_mpi,
+        },
+        "halo_traffic_bytes_per_cycle": {
+            "full_buffers": full["total_bytes"],
+            "face_local": compressed["total_bytes"],
+            "reduction": full["total_bytes"] / compressed["total_bytes"],
+            "n_halo_faces": full["n_halo_faces"],
+        },
+        "paper": {"derivatives_O5": 1575, "buffer_O5": 315, "face_local_O5": 135},
+    }
+    record_result("comm_volume", result)
+
+    assert volumes.derivative_scheme_anelastic == 1575
+    assert volumes.buffer_scheme == 315
+    assert volumes.face_local_mpi == 135
+    assert result["halo_traffic_bytes_per_cycle"]["reduction"] > 2.0

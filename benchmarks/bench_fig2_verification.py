@@ -1,0 +1,83 @@
+"""Fig. 2: verification of the full feature set against a reference solution.
+
+The paper compares EDGE's High-F seismograms (LTS + anelasticity + velocity-
+aware mesh) against the independent finite-difference solver EMO3D.  No
+second solver is available offline, so the verification compares the full
+LTS + anelastic configuration against the GTS reference of the *same*
+discretisation on a La-Habra-like basin setting -- exercising exactly the
+code paths the paper's verification exercises (clustered LTS, buffers,
+attenuation, free surface, topography) -- and reports the seismogram misfits
+for the three stations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.gts_solver import GlobalTimeSteppingSolver
+from repro.core.lts_solver import ClusteredLtsSolver
+from repro.source.misfit import seismogram_misfit
+from repro.source.receivers import ReceiverSet, resample_seismogram
+from repro.workloads.la_habra import la_habra_setup
+
+from conftest import record_result
+
+
+def test_fig2_verification_seismograms(benchmark):
+    setup = la_habra_setup(
+        extent_m=12000.0, depth_m=8000.0, max_frequency=0.35, order=3, with_topography=True
+    )
+    # replace the long-period kinematic source by a faster pulse placed closer to
+    # the surface so the stations record within an affordable time window
+    from repro.source.moment_tensor import MomentTensorSource
+    from repro.source.time_functions import RickerWavelet
+
+    moment = np.zeros((3, 3))
+    moment[0, 2] = moment[2, 0] = 7.1e16
+    setup.source = MomentTensorSource(
+        location=np.array([6000.0, 6000.0, -2500.0]),
+        moment_tensor=moment,
+        time_function=RickerWavelet(f0=1.0, t0=1.0),
+    )
+    clustering = setup.clustering(n_clusters=3, lam=None)
+    t_end = max(2.2, 2.0 * clustering.cluster_time_steps[-1])
+
+    receivers_ref = ReceiverSet(setup.disc, setup.receiver_locations)
+    reference = GlobalTimeSteppingSolver(
+        setup.disc,
+        dt=clustering.cluster_time_steps[0],
+        sources=[setup.source],
+        receivers=receivers_ref,
+    )
+    reference.run(t_end)
+
+    receivers_lts = ReceiverSet(setup.disc, setup.receiver_locations)
+    solver = ClusteredLtsSolver(
+        setup.disc, clustering, sources=[setup.source], receivers=receivers_lts
+    )
+    benchmark.pedantic(lambda: solver.run(t_end), rounds=1, iterations=1)
+
+    misfits = {}
+    for name in setup.receiver_locations:
+        t_r, v_r = receivers_ref[name].seismogram()
+        t_s, v_s = receivers_lts[name].seismogram()
+        if len(t_r) < 2 or len(t_s) < 2 or np.sum(v_r**2) == 0:
+            misfits[name] = None
+            continue
+        common = np.linspace(0.0, min(t_r[-1], t_s[-1]), 200)
+        misfits[name] = seismogram_misfit(
+            resample_seismogram(t_s, v_s, common), resample_seismogram(t_r, v_r, common)
+        )
+
+    result = {
+        "n_elements": setup.mesh.n_elements,
+        "n_clusters": clustering.n_clusters,
+        "lambda": clustering.lam,
+        "station_misfits_E": misfits,
+        "paper": "EDGE vs EMO3D seismograms visually agree after 5 Hz low-pass (Fig. 2)",
+    }
+    record_result("fig2_verification", result)
+
+    measured = [m for m in misfits.values() if m is not None]
+    assert measured, "at least one station must record a usable signal"
+    assert max(measured) < 0.1, f"station misfits too large: {misfits}"

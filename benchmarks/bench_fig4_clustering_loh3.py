@@ -1,0 +1,56 @@
+"""Fig. 4: LOH.3 time-step distribution and clustering for lambda = 1.00 vs 0.80.
+
+The paper obtains theoretical speedups of 2.28x (lambda = 1.00) and 2.67x
+(lambda = 0.80), a 17.5 % improvement from tuning lambda, with the bulk of
+the elements moving from cluster C2 to cluster C3.  The scaled mesh
+reproduces the same bimodal distribution (layer refined by 1.732x); the
+benchmark regenerates the per-cluster counts, load fractions and speedups.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import derive_clustering, optimize_lambda
+
+from conftest import record_result
+
+
+def test_fig4_clustering_and_lambda_tuning(benchmark, loh3_small):
+    setup = loh3_small
+    dts = setup.time_steps
+    neighbors = setup.mesh.neighbors
+
+    clustering_1 = derive_clustering(dts, 3, 1.0, neighbors)
+    clustering_08 = derive_clustering(dts, 3, 0.8, neighbors)
+    best = benchmark.pedantic(
+        lambda: optimize_lambda(dts, 3, neighbors, increment=0.01), rounds=1, iterations=1
+    )
+
+    result = {
+        "n_elements": setup.mesh.n_elements,
+        "dt_spread": float(dts.max() / dts.min()),
+        "lambda_1.00": {
+            "counts": clustering_1.counts,
+            "load_fractions": clustering_1.load_fractions(),
+            "speedup": clustering_1.speedup(),
+        },
+        "lambda_0.80": {
+            "counts": clustering_08.counts,
+            "load_fractions": clustering_08.load_fractions(),
+            "speedup": clustering_08.speedup(),
+        },
+        "lambda_optimal": {
+            "lambda": best.lam,
+            "speedup": best.speedup(),
+            "improvement_over_lambda_1": best.speedup() / clustering_1.speedup() - 1.0,
+        },
+        "paper": {"speedup_lambda_1": 2.28, "speedup_lambda_0.8": 2.67, "improvement": 0.175},
+    }
+    record_result("fig4_clustering_loh3", result)
+
+    # shape: LTS clearly beats GTS and the optimised lambda never loses
+    assert clustering_1.speedup() > 1.3
+    assert best.speedup() >= clustering_1.speedup() - 1e-12
+    # the distribution is bimodal: at least two clusters are populated
+    assert np.count_nonzero(clustering_1.counts) >= 2

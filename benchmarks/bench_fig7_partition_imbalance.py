@@ -1,0 +1,65 @@
+"""Fig. 7: element-count imbalance of the weighted partitioning.
+
+The partitioner balances *weighted* loads (update frequency per element), so
+partitions rich in large-time-step elements hold more elements in total: the
+paper reports a 2.2x spread for 48 partitions and 4.12x for 2048 partitions
+of the La Habra mesh.  The benchmark partitions a synthetic La-Habra-like
+dual graph (paper-calibrated cluster fractions on a box mesh) and reports
+the same quantities at feasible sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.clustering import derive_clustering
+from repro.mesh.generation import box_mesh
+from repro.parallel.partition import element_weights, partition_dual_graph
+from repro.workloads.la_habra import PAPER_LAMBDA, la_habra_time_step_distribution
+
+from conftest import record_result
+
+
+def test_fig7_partition_element_count_spread(benchmark):
+    # a box mesh provides the dual graph; the time steps follow the La Habra density
+    n_cells = 14
+    coords = np.linspace(0.0, 1.0, n_cells + 1)
+    mesh = box_mesh(coords, coords, coords, free_surface_top=False)
+    dts = la_habra_time_step_distribution(n_elements=mesh.n_elements, seed=2)
+    # the production mesh's small time steps are spatially clustered (the basin);
+    # emulate that by assigning the smallest steps to the elements closest to a
+    # "basin centre" so the weighted partitioning shows the Fig. 7 effect
+    center = np.array([0.5, 0.5, 1.0])
+    distance = np.linalg.norm(mesh.centroids - center, axis=1)
+    dts = np.sort(dts)[np.argsort(np.argsort(distance))]
+    clustering = derive_clustering(dts, 5, PAPER_LAMBDA, mesh.neighbors)
+    weights = element_weights(clustering.cluster_ids, clustering.n_clusters)
+
+    results = {"n_elements": mesh.n_elements, "partitionings": {}}
+    partition_counts = [12, 48]
+
+    def partition_all():
+        return {n: partition_dual_graph(mesh.neighbors, weights, n) for n in partition_counts}
+
+    partitions = benchmark.pedantic(partition_all, rounds=1, iterations=1)
+    for n_parts, result in partitions.items():
+        results["partitionings"][str(n_parts)] = {
+            "element_count_min": int(result.element_counts.min()),
+            "element_count_max": int(result.element_counts.max()),
+            "element_count_spread": result.element_count_spread(),
+            "weighted_load_imbalance": result.load_imbalance(),
+        }
+    results["paper"] = {"spread_48_partitions": 2.2, "spread_2048_partitions": 4.12}
+    record_result("fig7_partition_imbalance", results)
+
+    for stats in results["partitionings"].values():
+        # weighted loads stay balanced ...
+        assert stats["weighted_load_imbalance"] < 1.3
+        # ... which makes the raw element counts unbalanced
+        assert stats["element_count_spread"] > 1.05
+    # more partitions -> larger spread (the paper's 2.2x -> 4.12x trend)
+    assert results["partitionings"]["48"]["element_count_spread"] > 1.3
+    assert (
+        results["partitionings"]["48"]["element_count_spread"]
+        > results["partitionings"]["12"]["element_count_spread"]
+    )

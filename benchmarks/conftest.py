@@ -1,0 +1,59 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md for the per-experiment index).  Results are written as JSON
+files into ``benchmarks/results/`` so that EXPERIMENTS.md can be updated
+from a single run of ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.workloads.loh3 import loh3_setup
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Persist a benchmark's table/figure data as JSON (and echo it)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+    def _convert(value):
+        if isinstance(value, (np.floating, np.integer)):
+            return value.item()
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, dict):
+            return {k: _convert(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [_convert(v) for v in value]
+        return value
+
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(_convert(payload), indent=2))
+    print(f"\n[{name}] " + json.dumps(_convert(payload), indent=2))
+
+
+@pytest.fixture(scope="session")
+def loh3_small():
+    """A small LOH.3 configuration shared by the performance benchmarks."""
+    return loh3_setup(
+        extent_m=8000.0, characteristic_length=2000.0, order=4, n_mechanisms=3, jitter=0.2
+    )
+
+
+@pytest.fixture(scope="session")
+def loh3_small_elastic():
+    """The purely elastic counterpart (for the cost-of-anelasticity comparison)."""
+    return loh3_setup(
+        extent_m=8000.0,
+        characteristic_length=2000.0,
+        order=4,
+        anelastic=False,
+        jitter=0.2,
+    )

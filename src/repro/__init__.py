@@ -1,0 +1,44 @@
+"""repro -- reproduction of "Next-Generation Local Time Stepping for the
+ADER-DG Finite Element Method" (Breuer & Heinecke, IPDPS 2022).
+
+The package mirrors the structure of the EDGE solver the paper describes:
+
+* :mod:`repro.basis`           -- reference element (basis, quadrature, DG operators)
+* :mod:`repro.mesh`            -- unstructured tetrahedral meshes
+* :mod:`repro.equations`       -- (visco)elastic wave equations and flux solvers
+* :mod:`repro.kernels`         -- ADER-DG time/volume/surface kernels
+* :mod:`repro.core`            -- the paper's contribution: clustered local time stepping
+* :mod:`repro.source`          -- seismic sources, receivers, misfits
+* :mod:`repro.parallel`        -- partitioning, communication accounting, scaling model
+* :mod:`repro.preprocessing`   -- velocity models and the end-to-end preprocessing pipeline
+* :mod:`repro.workloads`       -- LOH.3 and the (scaled) La Habra workloads
+"""
+
+from .core import (
+    ClusteredLtsSolver,
+    Clustering,
+    GlobalTimeSteppingSolver,
+    derive_clustering,
+    optimize_lambda,
+)
+from .equations import ElasticMaterial, MaterialTable, ViscoelasticMaterial
+from .kernels import Discretization
+from .mesh import TetMesh, box_mesh, layered_box_mesh
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TetMesh",
+    "box_mesh",
+    "layered_box_mesh",
+    "ElasticMaterial",
+    "ViscoelasticMaterial",
+    "MaterialTable",
+    "Discretization",
+    "Clustering",
+    "derive_clustering",
+    "optimize_lambda",
+    "GlobalTimeSteppingSolver",
+    "ClusteredLtsSolver",
+]

@@ -1,0 +1,29 @@
+"""Reference-element substrate: Jacobi polynomials, quadrature, modal basis, DG operators."""
+
+from .functions import TetBasis, TriBasis, basis_size, face_basis_size
+from .jacobi import gauss_jacobi, gauss_legendre, jacobi, jacobi_derivative
+from .quadrature import QuadratureRule, tetrahedron_quadrature, triangle_quadrature
+from .reference_element import (
+    FACE_VERTEX_IDS,
+    REFERENCE_VERTICES,
+    ReferenceElement,
+    reference_element,
+)
+
+__all__ = [
+    "jacobi",
+    "jacobi_derivative",
+    "gauss_legendre",
+    "gauss_jacobi",
+    "QuadratureRule",
+    "triangle_quadrature",
+    "tetrahedron_quadrature",
+    "TetBasis",
+    "TriBasis",
+    "basis_size",
+    "face_basis_size",
+    "ReferenceElement",
+    "reference_element",
+    "REFERENCE_VERTICES",
+    "FACE_VERTEX_IDS",
+]

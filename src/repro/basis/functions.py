@@ -1,0 +1,232 @@
+"""Orthonormal modal basis functions on the reference triangle and tetrahedron.
+
+The basis is the hierarchical Dubiner / Karniadakis--Sherwin basis obtained
+from Jacobi polynomials in Duffy-collapsed coordinates (the tetrahedral
+expansion referenced by the paper, [32]).  The raw expansion is orthogonal;
+we normalise it numerically so that the mass matrix of the reference simplex
+is the identity, which makes all ``M^{-1}`` pre-multiplications of the DG
+operators trivial and exact.
+
+Conventions
+-----------
+* ``order`` is the order of convergence ``O`` of the ADER-DG scheme: the
+  basis spans all polynomials of total degree ``<= O - 1``.
+* ``basis_size(order) == B(O) = O (O+1) (O+2) / 6`` on the tetrahedron and
+  ``face_basis_size(order) == F(O) = O (O+1) / 2`` on the triangle, matching
+  the paper (``B(5) = 35``, ``F(5) = 15``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .jacobi import jacobi, jacobi_derivative
+from .quadrature import tetrahedron_quadrature, triangle_quadrature
+
+__all__ = [
+    "basis_size",
+    "face_basis_size",
+    "tet_basis_indices",
+    "tri_basis_indices",
+    "TetBasis",
+    "TriBasis",
+]
+
+#: Small guard used when converting to collapsed coordinates at the
+#: (never-evaluated) singular edges of the Duffy map.
+_COLLAPSE_EPS = 1e-14
+
+
+def basis_size(order: int) -> int:
+    """Number of tetrahedral basis functions ``B(O)`` for convergence order ``O``."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    return order * (order + 1) * (order + 2) // 6
+
+
+def face_basis_size(order: int) -> int:
+    """Number of triangular (face) basis functions ``F(O)``."""
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    return order * (order + 1) // 2
+
+
+@lru_cache(maxsize=32)
+def tet_basis_indices(order: int) -> tuple[tuple[int, int, int], ...]:
+    """Hierarchical ``(p, q, r)`` index triples with ``p + q + r <= order - 1``.
+
+    Ordered by total degree, then lexicographically, so truncating the list
+    yields the basis of any lower order.
+    """
+    indices: list[tuple[int, int, int]] = []
+    for degree in range(order):
+        for p in range(degree + 1):
+            for q in range(degree - p + 1):
+                r = degree - p - q
+                indices.append((p, q, r))
+    assert len(indices) == basis_size(order)
+    return tuple(indices)
+
+
+@lru_cache(maxsize=32)
+def tri_basis_indices(order: int) -> tuple[tuple[int, int], ...]:
+    """Hierarchical ``(p, q)`` index pairs with ``p + q <= order - 1``."""
+    indices: list[tuple[int, int]] = []
+    for degree in range(order):
+        for p in range(degree + 1):
+            indices.append((p, degree - p))
+    assert len(indices) == face_basis_size(order)
+    return tuple(indices)
+
+
+def _tet_collapsed(xi: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map reference-tetrahedron coordinates to collapsed coordinates (a, b, c)."""
+    x, y, z = xi[..., 0], xi[..., 1], xi[..., 2]
+    den_a = np.maximum(1.0 - y - z, _COLLAPSE_EPS)
+    den_b = np.maximum(1.0 - z, _COLLAPSE_EPS)
+    a = 2.0 * x / den_a - 1.0
+    b = 2.0 * y / den_b - 1.0
+    c = 2.0 * z - 1.0
+    return a, b, c
+
+
+def _tri_collapsed(xi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Map reference-triangle coordinates to collapsed coordinates (a, b)."""
+    x, y = xi[..., 0], xi[..., 1]
+    den = np.maximum(1.0 - y, _COLLAPSE_EPS)
+    a = 2.0 * x / den - 1.0
+    b = 2.0 * y - 1.0
+    return a, b
+
+
+class TetBasis:
+    """Orthonormal modal basis on the reference tetrahedron.
+
+    Parameters
+    ----------
+    order:
+        Order of convergence ``O`` of the ADER-DG scheme (polynomial degree
+        ``O - 1``).
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = order
+        self.indices = tet_basis_indices(order)
+        self.size = basis_size(order)
+        self._norms = self._compute_norms()
+
+    # -- evaluation -----------------------------------------------------
+
+    def _eval_raw(self, xi: np.ndarray) -> np.ndarray:
+        """Un-normalised basis values, shape ``(n_points, B)``."""
+        xi = np.atleast_2d(np.asarray(xi, dtype=np.float64))
+        a, b, c = _tet_collapsed(xi)
+        values = np.empty((xi.shape[0], self.size), dtype=np.float64)
+        half_1mb = 0.5 * (1.0 - b)
+        half_1mc = 0.5 * (1.0 - c)
+        for idx, (p, q, r) in enumerate(self.indices):
+            fa = jacobi(p, 0.0, 0.0, a)
+            fb = jacobi(q, 2.0 * p + 1.0, 0.0, b) * half_1mb**p
+            fc = jacobi(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c) * half_1mc ** (p + q)
+            values[:, idx] = fa * fb * fc
+        return values
+
+    def _compute_norms(self) -> np.ndarray:
+        order_quad = self.order + 2
+        quad = tetrahedron_quadrature(order_quad)
+        raw = self._eval_raw(quad.points)
+        norms_sq = quad.integrate(raw * raw)
+        return np.sqrt(norms_sq)
+
+    def evaluate(self, xi: np.ndarray) -> np.ndarray:
+        """Orthonormal basis values at ``xi``; returns ``(n_points, B)``."""
+        return self._eval_raw(xi) / self._norms[None, :]
+
+    def evaluate_gradient(self, xi: np.ndarray) -> np.ndarray:
+        """Gradients of the orthonormal basis, shape ``(n_points, B, 3)``.
+
+        The collapsed-coordinate chain rule is applied; points must lie in
+        the interior of the reference tetrahedron (quadrature points always
+        do), where the Duffy map is smooth.
+        """
+        xi = np.atleast_2d(np.asarray(xi, dtype=np.float64))
+        a, b, c = _tet_collapsed(xi)
+        y, z = xi[..., 1], xi[..., 2]
+        den_a = np.maximum(1.0 - y - z, _COLLAPSE_EPS)
+        den_b = np.maximum(1.0 - z, _COLLAPSE_EPS)
+
+        da_dx = 2.0 / den_a
+        da_dy = (1.0 + a) / den_a
+        da_dz = (1.0 + a) / den_a
+        db_dy = 2.0 / den_b
+        db_dz = (1.0 + b) / den_b
+        dc_dz = 2.0
+
+        grads = np.empty((xi.shape[0], self.size, 3), dtype=np.float64)
+        half_1mb = 0.5 * (1.0 - b)
+        half_1mc = 0.5 * (1.0 - c)
+        for idx, (p, q, r) in enumerate(self.indices):
+            fa = jacobi(p, 0.0, 0.0, a)
+            dfa = jacobi_derivative(p, 0.0, 0.0, a)
+
+            gb = jacobi(q, 2.0 * p + 1.0, 0.0, b)
+            dgb = jacobi_derivative(q, 2.0 * p + 1.0, 0.0, b)
+            fb = gb * half_1mb**p
+            if p > 0:
+                dfb = dgb * half_1mb**p - 0.5 * p * gb * half_1mb ** (p - 1)
+            else:
+                dfb = dgb
+
+            gc = jacobi(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c)
+            dgc = jacobi_derivative(r, 2.0 * p + 2.0 * q + 2.0, 0.0, c)
+            fc = gc * half_1mc ** (p + q)
+            if p + q > 0:
+                dfc = dgc * half_1mc ** (p + q) - 0.5 * (p + q) * gc * half_1mc ** (p + q - 1)
+            else:
+                dfc = dgc
+
+            d_da = dfa * fb * fc
+            d_db = fa * dfb * fc
+            d_dc = fa * fb * dfc
+
+            grads[:, idx, 0] = d_da * da_dx
+            grads[:, idx, 1] = d_da * da_dy + d_db * db_dy
+            grads[:, idx, 2] = d_da * da_dz + d_db * db_dz + d_dc * dc_dz
+        return grads / self._norms[None, :, None]
+
+
+class TriBasis:
+    """Orthonormal modal basis on the reference triangle (face basis)."""
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = order
+        self.indices = tri_basis_indices(order)
+        self.size = face_basis_size(order)
+        self._norms = self._compute_norms()
+
+    def _eval_raw(self, xi: np.ndarray) -> np.ndarray:
+        xi = np.atleast_2d(np.asarray(xi, dtype=np.float64))
+        a, b = _tri_collapsed(xi)
+        values = np.empty((xi.shape[0], self.size), dtype=np.float64)
+        half_1mb = 0.5 * (1.0 - b)
+        for idx, (p, q) in enumerate(self.indices):
+            fa = jacobi(p, 0.0, 0.0, a)
+            fb = jacobi(q, 2.0 * p + 1.0, 0.0, b) * half_1mb**p
+            values[:, idx] = fa * fb
+        return values
+
+    def _compute_norms(self) -> np.ndarray:
+        quad = triangle_quadrature(self.order + 2)
+        raw = self._eval_raw(quad.points)
+        norms_sq = quad.integrate(raw * raw)
+        return np.sqrt(norms_sq)
+
+    def evaluate(self, xi: np.ndarray) -> np.ndarray:
+        """Orthonormal face-basis values at ``xi``; returns ``(n_points, F)``."""
+        return self._eval_raw(xi) / self._norms[None, :]

@@ -1,0 +1,83 @@
+"""Quadrature rules on the reference triangle and reference tetrahedron.
+
+The reference simplices follow the EDGE / Dumbser--Kaeser convention:
+
+* reference triangle: ``{(x, y) : x, y >= 0, x + y <= 1}`` with area ``1/2``;
+* reference tetrahedron: ``{(x, y, z) : x, y, z >= 0, x + y + z <= 1}`` with
+  volume ``1/6``.
+
+Rules are built as tensor products of Gauss--Jacobi rules in Duffy-collapsed
+coordinates, which places all points strictly inside the simplex (important
+for the collapsed-coordinate basis evaluation) and integrates polynomials of
+total degree ``2 n - 1`` exactly with ``n`` points per direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .jacobi import gauss_jacobi, gauss_legendre
+
+__all__ = [
+    "QuadratureRule",
+    "triangle_quadrature",
+    "tetrahedron_quadrature",
+]
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """A quadrature rule: ``integral f ~= sum_i w_i f(points_i)``."""
+
+    points: np.ndarray  #: (n_points, dim) coordinates inside the reference simplex
+    weights: np.ndarray  #: (n_points,) positive weights summing to the simplex measure
+
+    @property
+    def n_points(self) -> int:
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    def integrate(self, values: np.ndarray) -> np.ndarray:
+        """Integrate values sampled at the quadrature points (first axis)."""
+        values = np.asarray(values)
+        return np.tensordot(self.weights, values, axes=(0, 0))
+
+
+@lru_cache(maxsize=32)
+def triangle_quadrature(n: int) -> QuadratureRule:
+    """Tensor-product rule on the reference triangle, exact for degree ``2n - 1``."""
+    xa, wa = gauss_legendre(n)
+    xb, wb = gauss_jacobi(n, 1.0, 0.0)
+    a, b = np.meshgrid(xa, xb, indexing="ij")
+    wa2, wb2 = np.meshgrid(wa, wb, indexing="ij")
+    # Duffy map: collapsed square -> triangle.
+    x = 0.25 * (1.0 + a) * (1.0 - b)
+    y = 0.5 * (1.0 + b)
+    w = wa2 * wb2 / 8.0
+    points = np.column_stack([x.ravel(), y.ravel()])
+    weights = w.ravel()
+    return QuadratureRule(points=points, weights=weights)
+
+
+@lru_cache(maxsize=32)
+def tetrahedron_quadrature(n: int) -> QuadratureRule:
+    """Tensor-product rule on the reference tetrahedron, exact for degree ``2n - 1``."""
+    xa, wa = gauss_legendre(n)
+    xb, wb = gauss_jacobi(n, 1.0, 0.0)
+    xc, wc = gauss_jacobi(n, 2.0, 0.0)
+    a, b, c = np.meshgrid(xa, xb, xc, indexing="ij")
+    wa3, wb3, wc3 = np.meshgrid(wa, wb, wc, indexing="ij")
+    # Duffy map: collapsed cube -> tetrahedron.
+    x = 0.125 * (1.0 + a) * (1.0 - b) * (1.0 - c)
+    y = 0.25 * (1.0 + b) * (1.0 - c)
+    z = 0.5 * (1.0 + c)
+    w = wa3 * wb3 * wc3 / 64.0
+    points = np.column_stack([x.ravel(), y.ravel(), z.ravel()])
+    weights = w.ravel()
+    return QuadratureRule(points=points, weights=weights)

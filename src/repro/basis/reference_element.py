@@ -1,0 +1,169 @@
+"""The ADER-DG reference tetrahedron and its precomputed operator matrices.
+
+This module assembles every matrix of the discrete formulation (Sec. III of
+the paper) that only depends on the reference element:
+
+* the (identity) mass matrix ``M`` of the orthonormal basis,
+* the stiffness matrices used by the time kernel (Cauchy--Kowalevski
+  procedure, eq. 6/7) and by the volume kernel (eq. 8/9),
+* the four local flux matrices ``F̃_i`` (B x F) projecting an element's trace
+  onto the face basis and their test-side counterparts ``F̂_i`` (F x B),
+  pre-multiplied by the inverse mass matrix as in the paper.
+
+The neighbouring flux matrices ``F̄`` depend on how two tetrahedra share a
+face and are therefore assembled per mesh in :mod:`repro.kernels.surface`,
+where they are deduplicated into the small unique set the paper exploits.
+
+Geometry conventions
+--------------------
+Reference tetrahedron vertices::
+
+    v0 = (0, 0, 0), v1 = (1, 0, 0), v2 = (0, 1, 0), v3 = (0, 0, 1)
+
+Faces are ordered ``(0,2,1), (0,1,3), (0,3,2), (1,2,3)`` with outward
+normals ``-z, -y, -x, (1,1,1)/sqrt(3)``.  Each face is parametrised over the
+reference triangle ``{(u, v): u, v >= 0, u + v <= 1}`` by
+``X_i(u, v) = a + u (b - a) + v (c - a)`` with ``(a, b, c)`` the face's
+vertex triple.  All face matrices use the parametric measure ``du dv``; the
+physical area scaling ``2 |S_i| / |J_k|`` is folded into the element-local
+flux solvers, exactly as EDGE folds it into ``Ã±``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .functions import TetBasis, TriBasis, basis_size, face_basis_size
+from .quadrature import tetrahedron_quadrature, triangle_quadrature
+
+__all__ = ["ReferenceElement", "REFERENCE_VERTICES", "FACE_VERTEX_IDS", "reference_element"]
+
+#: Vertices of the reference tetrahedron, shape (4, 3).
+REFERENCE_VERTICES = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ]
+)
+
+#: Local vertex ids of the four reference faces (outward orientation).
+FACE_VERTEX_IDS = ((0, 2, 1), (0, 1, 3), (0, 3, 2), (1, 2, 3))
+
+#: Outward unit normals of the reference faces, shape (4, 3).
+REFERENCE_FACE_NORMALS = np.array(
+    [
+        [0.0, 0.0, -1.0],
+        [0.0, -1.0, 0.0],
+        [-1.0, 0.0, 0.0],
+        [1.0, 1.0, 1.0] / np.sqrt(3.0),
+    ]
+)
+
+
+class ReferenceElement:
+    """Precomputed reference-element operators for a given order ``O``."""
+
+    def __init__(self, order: int):
+        self.order = order
+        self.n_basis = basis_size(order)
+        self.n_face_basis = face_basis_size(order)
+        self.basis = TetBasis(order)
+        self.face_basis = TriBasis(order)
+
+        # Volume quadrature exact for products of two basis functions and a
+        # gradient (degree <= 2 (O-1)); order + 2 points per direction give
+        # exactness 2 O + 3 which is comfortably enough.
+        self.volume_quadrature = tetrahedron_quadrature(order + 2)
+        self.face_quadrature = triangle_quadrature(order + 2)
+
+        self._assemble_volume_operators()
+        self._assemble_face_operators()
+
+    # ------------------------------------------------------------------
+    # volume operators
+    # ------------------------------------------------------------------
+    def _assemble_volume_operators(self) -> None:
+        quad = self.volume_quadrature
+        psi = self.basis.evaluate(quad.points)  # (nq, B)
+        dpsi = self.basis.evaluate_gradient(quad.points)  # (nq, B, 3)
+        w = quad.weights
+
+        mass = np.einsum("q,qb,qc->bc", w, psi, psi)
+        self.mass = mass
+        self.inv_mass = np.linalg.inv(mass)
+
+        # Ktilde_c[b, b'] = int dpsi_b/dxi_c * psi_b' dxi
+        ktilde = np.einsum("q,qbc,qa->cba", w, dpsi, psi)  # (3, B, B)
+        self.ktilde = ktilde
+        # Time-kernel (CK) differentiation operators: Q^{(d+1)} = ... Q^{(d)} @ k_time_c
+        self.k_time = np.einsum("cba,ad->cbd", ktilde, self.inv_mass)
+        # Volume-kernel stiffness operators: V += Astar_c @ (T @ k_vol_c)
+        self.k_vol = np.einsum("cab,ad->cbd", ktilde, self.inv_mass)
+
+    # ------------------------------------------------------------------
+    # face operators
+    # ------------------------------------------------------------------
+    def face_parametrization(self, face: int, uv: np.ndarray) -> np.ndarray:
+        """Map reference-triangle points ``uv`` onto reference-tet face ``face``."""
+        a, b, c = (REFERENCE_VERTICES[i] for i in FACE_VERTEX_IDS[face])
+        uv = np.atleast_2d(np.asarray(uv, dtype=np.float64))
+        return a[None, :] + uv[:, 0:1] * (b - a)[None, :] + uv[:, 1:2] * (c - a)[None, :]
+
+    def _assemble_face_operators(self) -> None:
+        quad = self.face_quadrature
+        w = quad.weights
+        chi = self.face_basis.evaluate(quad.points)  # (nqf, F)
+        self.face_basis_at_quad = chi
+
+        face_points = np.empty((4, quad.n_points, 3))
+        psi_at_face = np.empty((4, quad.n_points, self.n_basis))
+        ftilde = np.empty((4, self.n_basis, self.n_face_basis))
+        fhat = np.empty((4, self.n_face_basis, self.n_basis))
+        fsurf = np.empty((4, self.n_basis, self.n_basis))
+        for i in range(4):
+            pts = self.face_parametrization(i, quad.points)
+            face_points[i] = pts
+            psi = self.basis.evaluate(pts)
+            psi_at_face[i] = psi
+            ft = np.einsum("q,qb,qf->bf", w, psi, chi)
+            ftilde[i] = ft
+            fhat[i] = ft.T @ self.inv_mass
+            fsurf[i] = np.einsum("q,qb,qc->bc", w, psi, psi)
+
+        self.face_quad_points = face_points
+        self.basis_at_face_quad = psi_at_face
+        self.ftilde = ftilde
+        self.fhat = fhat
+        self.fsurf = fsurf
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def project_function(self, func, n_quad: int | None = None) -> np.ndarray:
+        """L2-project ``func(points) -> (n_points, n_vars)`` onto the basis.
+
+        Returns the modal coefficients with shape ``(n_vars, B)`` such that
+        ``coeffs @ psi(xi)`` approximates ``func`` on the reference element.
+        """
+        quad = tetrahedron_quadrature(n_quad or (self.order + 3))
+        psi = self.basis.evaluate(quad.points)
+        values = np.asarray(func(quad.points), dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        rhs = np.einsum("q,qv,qb->vb", quad.weights, values, psi)
+        return rhs @ self.inv_mass.T
+
+    def evaluate_solution(self, coeffs: np.ndarray, xi: np.ndarray) -> np.ndarray:
+        """Evaluate modal coefficients ``(..., B)`` at reference points ``xi``."""
+        psi = self.basis.evaluate(xi)  # (n_points, B)
+        return np.einsum("...b,pb->...p", coeffs, psi)
+
+
+@lru_cache(maxsize=8)
+def reference_element(order: int) -> ReferenceElement:
+    """Cached factory for :class:`ReferenceElement` instances."""
+    return ReferenceElement(order)

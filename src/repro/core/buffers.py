@@ -1,0 +1,125 @@
+"""The three time buffers of the next-generation LTS scheme (Sec. V-B).
+
+For every element ``k`` three additional ``9 x B`` data structures hold the
+elastic time-integrated information face-neighbouring elements need:
+
+* ``B1_k`` -- integral over the element's full current time step, used by
+  neighbours with the *same* time step;
+* ``B2_k`` -- integral over the first half of the step, used by neighbours
+  with a *smaller* (half) time step;
+* ``B3_k`` -- the pairwise accumulated integral (eq. 17's even/odd rule),
+  used by neighbours with a *larger* (double) time step.
+
+Unlike the buffer/derivative scheme of Breuer et al. 2016 (ref. [15]) no time
+derivatives are ever communicated, which is what makes the scheme efficient
+for the anelastic wave equations where the derivatives carry no exploitable
+zero blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.ader import time_integrate
+from ..kernels.discretization import Discretization, N_ELASTIC
+
+__all__ = ["LtsBuffers"]
+
+#: relation codes of a face neighbour's cluster w.r.t. the element's cluster
+SAME, SMALLER, LARGER, BOUNDARY = 0, -1, 1, -2
+
+
+class LtsBuffers:
+    """Buffer storage and the buffer update/read rules of the LTS scheme."""
+
+    def __init__(self, disc: Discretization, n_fused: int = 0, dtype=np.float64):
+        shape: tuple[int, ...] = (disc.n_elements, N_ELASTIC, disc.n_basis)
+        if n_fused > 0:
+            shape = shape + (n_fused,)
+        self.b1 = np.zeros(shape, dtype=dtype)
+        self.b2 = np.zeros(shape, dtype=dtype)
+        self.b3 = np.zeros(shape, dtype=dtype)
+
+    def fill(
+        self,
+        elements: np.ndarray,
+        derivatives: list[np.ndarray],
+        dt: float,
+        step_index: int,
+        needs_half: bool = True,
+    ) -> None:
+        """Fill the buffers of ``elements`` after their time prediction (eq. 17).
+
+        Parameters
+        ----------
+        derivatives:
+            CK time derivatives of the batch (elastic part is used).
+        dt:
+            The elements' (cluster) time step.
+        step_index:
+            The elements' local step counter ``n_k`` (before the step), which
+            controls the even/odd accumulation of ``B3``.
+        needs_half:
+            Whether ``B2`` is required (only if a smaller-step neighbour
+            exists); computing it unconditionally is allowed but wasteful.
+        """
+        elastic_derivatives = [d[:, :N_ELASTIC] for d in derivatives]
+        full = time_integrate(elastic_derivatives, 0.0, dt)
+        self.b1[elements] = full
+        if needs_half:
+            self.b2[elements] = time_integrate(elastic_derivatives, 0.0, 0.5 * dt)
+        if step_index % 2 == 0:
+            self.b3[elements] = full
+        else:
+            self.b3[elements] += full
+
+    def neighbor_data(
+        self,
+        elements: np.ndarray,
+        neighbors: np.ndarray,
+        relations: np.ndarray,
+        step_index: int,
+    ) -> np.ndarray:
+        """Gather the neighbour time-integrated data for a batch's correction.
+
+        Parameters
+        ----------
+        elements:
+            Element ids of the batch (cluster ``l``) that completes a step.
+        neighbors:
+            ``(E, 4)`` face-neighbour ids of the batch.
+        relations:
+            ``(E, 4)`` cluster relation per face: ``SAME``, ``SMALLER``
+            (neighbour advances with half the step), ``LARGER`` (double the
+            step) or ``BOUNDARY``.
+        step_index:
+            The batch's local step counter ``n_k`` (before the step); for a
+            ``LARGER`` neighbour it decides whether the element's interval is
+            the first (even) or second (odd) half of the neighbour's step.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(E, 4, 9, B[, n_fused])`` neighbour elastic time-integrated DOFs
+            over the batch's time interval; boundary faces are zero-filled
+            (they are replaced by ghost data downstream).
+        """
+        del elements  # the gather works purely on the neighbour ids
+        safe = np.maximum(neighbors, 0)
+        out = np.zeros((neighbors.shape[0], 4) + self.b1.shape[1:], dtype=self.b1.dtype)
+
+        same = relations == SAME
+        smaller = relations == SMALLER
+        larger = relations == LARGER
+
+        if np.any(same):
+            out[same] = self.b1[safe[same]]
+        if np.any(smaller):
+            # the faster neighbour accumulated its two sub-steps in B3
+            out[smaller] = self.b3[safe[smaller]]
+        if np.any(larger):
+            if step_index % 2 == 0:
+                out[larger] = self.b2[safe[larger]]
+            else:
+                out[larger] = self.b1[safe[larger]] - self.b2[safe[larger]]
+        return out

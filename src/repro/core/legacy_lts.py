@@ -1,0 +1,79 @@
+"""Model of the previous-generation buffer/derivative LTS scheme (ref. [15]).
+
+The scheme of Breuer, Heinecke & Bader 2016 -- used by SeisSol and the
+baseline the paper compares against -- communicates either summed time
+buffers or raw time *derivatives* between elements of different clusters.
+For the elastic wave equations the higher time derivatives carry zero blocks
+that can be exploited; for the anelastic wave equations they do not (the
+elastic derivatives couple to the anelastic ones through the reactive
+source), so the derivative exchange becomes prohibitively large -- the
+motivation for the next-generation scheme (Sec. V).
+
+This module provides the per-element data-exchange volumes of
+
+* the legacy derivative exchange (with and without the elastic zero-block
+  optimisation),
+* the next-generation three-buffer scheme, and
+* the face-local compressed MPI representation (Sec. V-C),
+
+which the communication benchmark turns into the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..basis.functions import basis_size, face_basis_size
+
+__all__ = ["CommunicationVolume", "communication_volumes"]
+
+N_ELASTIC = 9
+
+
+@dataclass(frozen=True)
+class CommunicationVolume:
+    """Per-element (or per-face) exchanged values of the different schemes."""
+
+    derivative_scheme_elastic: int  #: legacy scheme, elastic equations, zero blocks exploited
+    derivative_scheme_anelastic: int  #: legacy scheme applied to the anelastic equations
+    buffer_scheme: int  #: next-generation scheme, one shared-memory buffer
+    face_local_mpi: int  #: face-local compressed representation per face (Sec. V-C)
+
+    def reduction_vs_derivatives(self) -> float:
+        """Data reduction of the buffer scheme vs. the legacy anelastic exchange."""
+        return self.derivative_scheme_anelastic / self.buffer_scheme
+
+    def reduction_face_local(self) -> float:
+        """Data reduction of one face-local MPI message vs. one full buffer."""
+        return self.buffer_scheme / self.face_local_mpi
+
+
+def communication_volumes(order: int, n_mechanisms: int = 3) -> CommunicationVolume:
+    """Exchange volumes (in scalar values) for a given order and mechanism count.
+
+    For ``order = 5`` the derivative exchange of the elastic equations needs
+    ``sum_d 9 * B(5 - d)`` values when exploiting the zero blocks of the
+    higher derivatives, whereas the anelastic case requires all
+    ``O * 9 * B = 1,575`` values (the paper's number).  The next-generation
+    buffer holds ``9 * B = 315`` values and the face-local MPI message
+    ``9 * F = 135`` values.
+    """
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    if n_mechanisms < 0:
+        raise ValueError("n_mechanisms must be non-negative")
+    b = basis_size(order)
+    f = face_basis_size(order)
+
+    # elastic: derivative d only needs the basis functions of degree <= O-1-d
+    derivative_elastic = sum(N_ELASTIC * basis_size(order - d) for d in range(order))
+    # anelastic: no zero blocks exploitable -> all O derivatives at full size
+    derivative_anelastic = order * N_ELASTIC * b
+    buffer_scheme = N_ELASTIC * b
+    face_local = N_ELASTIC * f
+    return CommunicationVolume(
+        derivative_scheme_elastic=derivative_elastic,
+        derivative_scheme_anelastic=derivative_anelastic,
+        buffer_scheme=buffer_scheme,
+        face_local_mpi=face_local,
+    )

@@ -1,0 +1,74 @@
+"""Scheduling of the rate-2 clustered LTS scheme.
+
+With ``N_c`` clusters whose time steps are ``dt_l = 2^l * dt_0``, the
+simulation advances in micro steps of ``dt_0``.  Cluster ``l``
+
+* *predicts* (time kernel + buffer fill) at the beginning of each of its
+  intervals, i.e. at micro steps divisible by ``2^l``, and
+* *corrects* (applies volume + surface updates and advances its DOFs) at the
+  end of each of its intervals, i.e. after micro steps ``s`` with
+  ``(s + 1)`` divisible by ``2^l``.
+
+Corrections at a time-level boundary must use the buffer state *before* any
+re-prediction at the same boundary; this module provides the pure scheduling
+queries the solver loops over, which keeps the driver readable and easy to
+test against the paper's Fig. 6 walkthrough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "micro_steps_per_cycle",
+    "clusters_predicting_at",
+    "clusters_correcting_after",
+    "updates_per_cycle",
+    "schedule_cycle",
+]
+
+
+def micro_steps_per_cycle(n_clusters: int) -> int:
+    """Number of smallest-cluster steps per step of the largest cluster."""
+    if n_clusters < 1:
+        raise ValueError("need at least one cluster")
+    return 2 ** (n_clusters - 1)
+
+
+def clusters_predicting_at(micro_step: int, n_clusters: int) -> list[int]:
+    """Clusters that start a new interval at the given micro step."""
+    return [l for l in range(n_clusters) if micro_step % (2**l) == 0]
+
+
+def clusters_correcting_after(micro_step: int, n_clusters: int) -> list[int]:
+    """Clusters whose interval ends after the given micro step (0-based)."""
+    return [l for l in range(n_clusters) if (micro_step + 1) % (2**l) == 0]
+
+
+def updates_per_cycle(cluster_counts: np.ndarray) -> int:
+    """Total element updates in one macro cycle (one step of the largest cluster)."""
+    cluster_counts = np.asarray(cluster_counts, dtype=np.int64)
+    n_clusters = len(cluster_counts)
+    steps = 2 ** (n_clusters - 1 - np.arange(n_clusters))
+    return int(np.sum(cluster_counts * steps))
+
+
+def schedule_cycle(n_clusters: int) -> list[dict]:
+    """The full schedule of one macro cycle as a list of micro-step entries.
+
+    Each entry is ``{"micro_step": s, "predict": [...], "correct": [...]}``
+    where ``predict`` lists the clusters predicting at the *beginning* of the
+    micro step and ``correct`` those correcting at its end.  The first micro
+    step predicts every cluster (all elements are at a common time level at
+    the beginning of a cycle, as in Fig. 6 (a)).
+    """
+    schedule = []
+    for s in range(micro_steps_per_cycle(n_clusters)):
+        schedule.append(
+            {
+                "micro_step": s,
+                "predict": clusters_predicting_at(s, n_clusters),
+                "correct": clusters_correcting_after(s, n_clusters),
+            }
+        )
+    return schedule

@@ -1,0 +1,73 @@
+"""Algorithmic efficiency model of clustered local time stepping.
+
+The cost of advancing the mesh by one unit of simulated time is
+``sum_k 1 / dt_k^{used}`` element updates; GTS uses ``dt_min`` for every
+element while LTS uses each element's cluster time step.  The theoretical
+speedup of a clustering over GTS (the numbers quoted for Figs. 4 and 5,
+e.g. 2.28x / 2.67x for LOH.3 and 5.38x for La Habra) is the ratio of these
+costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "update_cost_per_unit_time",
+    "theoretical_speedup",
+    "load_fractions",
+    "normalization_loss",
+    "ideal_speedup",
+]
+
+
+def update_cost_per_unit_time(cluster_ids: np.ndarray, cluster_time_steps: np.ndarray) -> float:
+    """Element updates per unit simulated time of a clustered configuration."""
+    cluster_ids = np.asarray(cluster_ids, dtype=np.int64)
+    cluster_time_steps = np.asarray(cluster_time_steps, dtype=np.float64)
+    return float(np.sum(1.0 / cluster_time_steps[cluster_ids]))
+
+
+def theoretical_speedup(
+    cluster_ids: np.ndarray, cluster_time_steps: np.ndarray, dt_min: float
+) -> float:
+    """Speedup of the clustering over global time stepping at ``dt_min``."""
+    n_elements = len(cluster_ids)
+    gts_cost = n_elements / dt_min
+    lts_cost = update_cost_per_unit_time(cluster_ids, cluster_time_steps)
+    return gts_cost / lts_cost
+
+
+def ideal_speedup(time_steps: np.ndarray) -> float:
+    """Speedup of (hypothetical) fully element-local time stepping over GTS."""
+    time_steps = np.asarray(time_steps, dtype=np.float64)
+    gts_cost = len(time_steps) / time_steps.min()
+    local_cost = float(np.sum(1.0 / time_steps))
+    return gts_cost / local_cost
+
+
+def load_fractions(cluster_ids: np.ndarray, cluster_time_steps: np.ndarray) -> np.ndarray:
+    """Fraction of the total update load carried by each cluster.
+
+    This is what the paper quotes as e.g. "cluster C2 ... carries most of the
+    computational load (78.5 %)" for the LOH.3 clustering of Fig. 4 (a).
+    """
+    cluster_ids = np.asarray(cluster_ids, dtype=np.int64)
+    cluster_time_steps = np.asarray(cluster_time_steps, dtype=np.float64)
+    counts = np.bincount(cluster_ids, minlength=len(cluster_time_steps))
+    loads = counts / cluster_time_steps
+    return loads / loads.sum()
+
+
+def normalization_loss(
+    raw_cluster_ids: np.ndarray,
+    normalized_cluster_ids: np.ndarray,
+    cluster_time_steps: np.ndarray,
+) -> float:
+    """Relative loss of algorithmic efficiency caused by the normalisation.
+
+    The paper reports this loss to be below 1.5 % for the studied settings.
+    """
+    raw = update_cost_per_unit_time(raw_cluster_ids, cluster_time_steps)
+    normalized = update_cost_per_unit_time(normalized_cluster_ids, cluster_time_steps)
+    return normalized / raw - 1.0

@@ -1,0 +1,212 @@
+"""Viscoelastic attenuation: relaxation mechanisms, Q-fitting and coupling.
+
+EDGE models anelastic attenuation with a generalized Maxwell body of ``m``
+relaxation mechanisms (typically three, Sec. VII-A).  Each mechanism ``l``
+contributes six memory variables per element (paper eq. 1); following the
+formulation of Kaeser et al. (paper ref. [24]) the memory variables are
+relaxation-filtered strain rates:
+
+* their evolution is driven by the velocity gradients through the
+  *mechanism-independent* anelastic Jacobian blocks ``A_a, B_a, C_a`` with
+  the relaxation frequency ``omega_l`` factored out -- exactly the structure
+  the paper exploits in eqs. (7), (9), (12) and (13);
+* the material (and Q) dependence sits in the per-mechanism coupling
+  matrices ``E_l in R^{9x6}`` that feed the memory variables back into the
+  stress equations (eq. 3), built from anelastic Lame parameters fitted to
+  the frequency-independent quality factors ``Q_p``/``Q_s``.
+
+Derivation sketch (generalized Maxwell body)::
+
+    sigma(t)     = int Psi(t - tau) deps/dt dtau,   Psi(t) = M_R + sum_l M_l exp(-omega_l t)
+    dsigma/dt    = M_u deps/dt - sum_l M_l zeta_l
+    zeta_l(t)    = omega_l int exp(-omega_l (t - tau)) deps/dt dtau
+    dzeta_l/dt   = omega_l deps/dt - omega_l zeta_l
+
+with ``M_l = Y_l M_u`` the per-mechanism anelastic moduli.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import nnls
+
+__all__ = [
+    "RelaxationSpectrum",
+    "fit_constant_q",
+    "quality_factor_of_spectrum",
+    "anelastic_lame_parameters",
+    "coupling_matrices",
+    "anelastic_jacobians",
+    "anelastic_star_matrices",
+    "n_anelastic_vars",
+]
+
+
+def n_anelastic_vars(n_mechanisms: int) -> int:
+    """Number of memory variables ``N_a(m) = 6 m``."""
+    return 6 * n_mechanisms
+
+
+# ----------------------------------------------------------------------
+# constant-Q fitting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RelaxationSpectrum:
+    """Relaxation frequencies and dimensionless anelastic coefficients.
+
+    The spectrum approximates ``1/Q(w) = sum_l y_l * omega_l * w /
+    (omega_l^2 + w^2)``; the unit coefficients are fitted for ``Q = 1`` and
+    scale linearly with ``1/Q`` (linearised constant-Q model, accurate for
+    the large quality factors of the considered workloads).
+    """
+
+    omegas: np.ndarray  #: (m,) relaxation frequencies [rad/s]
+    y_unit: np.ndarray  #: (m,) coefficients realising Q = 1
+
+    @property
+    def n_mechanisms(self) -> int:
+        return len(self.omegas)
+
+    def coefficients(self, q: np.ndarray | float) -> np.ndarray:
+        """Anelastic coefficients ``Y_l`` for quality factor(s) ``q``.
+
+        For an array ``q`` of shape ``(K,)`` the result has shape ``(K, m)``;
+        infinite Q yields zero coefficients (purely elastic element).
+        """
+        q = np.asarray(q, dtype=np.float64)
+        inv_q = np.where(np.isfinite(q), 1.0 / q, 0.0)
+        return np.multiply.outer(inv_q, self.y_unit)
+
+
+def fit_constant_q(
+    frequency_band: tuple[float, float],
+    n_mechanisms: int = 3,
+    n_sample_frequencies: int = 24,
+) -> RelaxationSpectrum:
+    """Fit relaxation frequencies and coefficients for frequency-independent Q.
+
+    The relaxation frequencies are logarithmically spaced over the band and
+    the non-negative coefficients are obtained from a least-squares fit of
+    ``1/Q(omega) = 1`` at sample frequencies (Emmerich & Korn style).
+    """
+    f_min, f_max = frequency_band
+    if f_min <= 0 or f_max <= f_min:
+        raise ValueError("frequency band must satisfy 0 < f_min < f_max")
+    if n_mechanisms < 1:
+        raise ValueError("need at least one relaxation mechanism")
+
+    omegas = 2.0 * np.pi * np.logspace(np.log10(f_min), np.log10(f_max), n_mechanisms)
+    sample = 2.0 * np.pi * np.logspace(
+        np.log10(f_min), np.log10(f_max), max(n_sample_frequencies, 2 * n_mechanisms)
+    )
+    design = (omegas[None, :] * sample[:, None]) / (omegas[None, :] ** 2 + sample[:, None] ** 2)
+    target = np.ones(len(sample))
+    y_unit, _residual = nnls(design, target)
+    return RelaxationSpectrum(omegas=omegas, y_unit=y_unit)
+
+
+def quality_factor_of_spectrum(
+    omegas: np.ndarray, y: np.ndarray, frequencies: np.ndarray
+) -> np.ndarray:
+    """Quality factor ``Q(f)`` realised by a relaxation spectrum."""
+    omegas = np.asarray(omegas, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    w = 2.0 * np.pi * np.asarray(frequencies, dtype=np.float64)
+    inv_q = np.sum(
+        y[None, :] * omegas[None, :] * w[:, None] / (omegas[None, :] ** 2 + w[:, None] ** 2),
+        axis=1,
+    )
+    with np.errstate(divide="ignore"):
+        return np.where(inv_q > 0, 1.0 / inv_q, np.inf)
+
+
+# ----------------------------------------------------------------------
+# coupling matrices (material dependent)
+# ----------------------------------------------------------------------
+def anelastic_lame_parameters(
+    lam: np.ndarray,
+    mu: np.ndarray,
+    qp: np.ndarray,
+    qs: np.ndarray,
+    spectrum: RelaxationSpectrum,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-element, per-mechanism anelastic Lame parameters ``(lam_a, mu_a)``.
+
+    The shear coefficients follow ``Q_s``, the P-modulus coefficients follow
+    ``Q_p`` and the anelastic first Lame parameter is recovered from
+    ``lam_a = (lam + 2 mu) Y_p - 2 mu Y_s``.  Shapes are ``(K, m)``.
+    """
+    lam = np.asarray(lam, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    y_p = spectrum.coefficients(qp)
+    y_s = spectrum.coefficients(qs)
+    p_modulus = (lam + 2.0 * mu)[:, None]
+    mu_a = mu[:, None] * y_s
+    lam_a = p_modulus * y_p - 2.0 * mu_a
+    return lam_a, mu_a
+
+
+def coupling_matrices(lam_a: np.ndarray, mu_a: np.ndarray) -> np.ndarray:
+    """Coupling matrices ``E_l`` feeding memory variables into the stresses.
+
+    Parameters have shape ``(K, m)``; the result has shape ``(K, m, 9, 6)``.
+    The stress equations receive ``- C_l zeta_l`` on their right-hand side,
+    with ``C_l`` the isotropic anelastic stiffness of mechanism ``l`` acting
+    on the (tensor) strain-rate memory variables.
+    """
+    lam_a = np.asarray(lam_a, dtype=np.float64)
+    mu_a = np.asarray(mu_a, dtype=np.float64)
+    if lam_a.shape != mu_a.shape or lam_a.ndim != 2:
+        raise ValueError("lam_a and mu_a must both have shape (n_elements, n_mechanisms)")
+    n_elem, n_mech = lam_a.shape
+    e = np.zeros((n_elem, n_mech, 9, 6))
+    lam2mu = lam_a + 2.0 * mu_a
+    # normal stresses
+    for row in range(3):
+        for col in range(3):
+            e[:, :, row, col] = -(lam2mu if row == col else lam_a)
+    # shear stresses (tensor strain -> factor 2 mu)
+    for idx in (3, 4, 5):
+        e[:, :, idx, idx] = -2.0 * mu_a
+    return e
+
+
+# ----------------------------------------------------------------------
+# anelastic Jacobian blocks (material independent, omega_l factored out)
+# ----------------------------------------------------------------------
+def anelastic_jacobians() -> np.ndarray:
+    """The mechanism-independent anelastic Jacobian blocks, shape ``(3, 6, 9)``.
+
+    The full-system Jacobian block of mechanism ``l`` is ``omega_l`` times the
+    returned matrices (the factorisation of eq. 7).  The blocks extract the
+    negative tensor strain rate from the particle-velocity columns, mirroring
+    the sign convention of the elastic Jacobians.
+    """
+    jac = np.zeros((3, 6, 9))
+    # x-direction: d/dx of (u, v, w) -> eps_xx, eps_xy, eps_xz
+    jac[0, 0, 6] = -1.0
+    jac[0, 3, 7] = -0.5
+    jac[0, 5, 8] = -0.5
+    # y-direction
+    jac[1, 1, 7] = -1.0
+    jac[1, 3, 6] = -0.5
+    jac[1, 4, 8] = -0.5
+    # z-direction
+    jac[2, 2, 8] = -1.0
+    jac[2, 4, 7] = -0.5
+    jac[2, 5, 6] = -0.5
+    return jac
+
+
+def anelastic_star_matrices(inverse_jacobians: np.ndarray) -> np.ndarray:
+    """Element-local anelastic star matrices ``Abar_a_{k,c}``, shape ``(K, 3, 6, 9)``.
+
+    Only geometry enters (the anelastic Jacobian blocks carry no material
+    dependence); the relaxation frequencies ``omega_l`` are applied by the
+    kernels, and the anelastic moduli by the coupling matrices ``E_l``.
+    """
+    jac = anelastic_jacobians()  # (3, 6, 9)
+    inverse_jacobians = np.asarray(inverse_jacobians, dtype=np.float64)
+    return np.einsum("kcd,dij->kcij", inverse_jacobians, jac)

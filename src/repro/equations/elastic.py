@@ -1,0 +1,130 @@
+"""Elastic wave equations: Jacobians and element-local star matrices.
+
+The elastic part of the variable vector is ordered as in the paper,
+``q_e = (sig_xx, sig_yy, sig_zz, sig_xy, sig_yz, sig_xz, u, v, w)``, and the
+system reads ``q_t + A q_x + B q_y + C q_z = E q`` with the sparse Jacobians
+``A_e, B_e, C_e in R^{9x9}`` of Dumbser & Kaeser (paper ref. [23]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "N_ELASTIC_VARS",
+    "STRESS_INDICES",
+    "VELOCITY_INDICES",
+    "elastic_jacobians",
+    "elastic_star_matrices",
+    "wave_speeds",
+]
+
+N_ELASTIC_VARS = 9
+STRESS_INDICES = (0, 1, 2, 3, 4, 5)
+VELOCITY_INDICES = (6, 7, 8)
+
+
+def elastic_jacobians(lam: float, mu: float, rho: float) -> np.ndarray:
+    """The three elastic Jacobians ``(A_e, B_e, C_e)`` as an array ``(3, 9, 9)``."""
+    if rho <= 0:
+        raise ValueError("density must be positive")
+    a = np.zeros((9, 9))
+    b = np.zeros((9, 9))
+    c = np.zeros((9, 9))
+    lam2mu = lam + 2.0 * mu
+    inv_rho = 1.0 / rho
+
+    # x-direction
+    a[0, 6] = -lam2mu
+    a[1, 6] = -lam
+    a[2, 6] = -lam
+    a[3, 7] = -mu
+    a[5, 8] = -mu
+    a[6, 0] = -inv_rho
+    a[7, 3] = -inv_rho
+    a[8, 5] = -inv_rho
+
+    # y-direction
+    b[0, 7] = -lam
+    b[1, 7] = -lam2mu
+    b[2, 7] = -lam
+    b[3, 6] = -mu
+    b[4, 8] = -mu
+    b[6, 3] = -inv_rho
+    b[7, 1] = -inv_rho
+    b[8, 4] = -inv_rho
+
+    # z-direction
+    c[0, 8] = -lam
+    c[1, 8] = -lam
+    c[2, 8] = -lam2mu
+    c[4, 7] = -mu
+    c[5, 6] = -mu
+    c[6, 5] = -inv_rho
+    c[7, 4] = -inv_rho
+    c[8, 2] = -inv_rho
+
+    return np.stack([a, b, c])
+
+
+def elastic_jacobians_batch(lam: np.ndarray, mu: np.ndarray, rho: np.ndarray) -> np.ndarray:
+    """Vectorised Jacobians for per-element materials, shape ``(K, 3, 9, 9)``."""
+    lam = np.asarray(lam, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    rho = np.asarray(rho, dtype=np.float64)
+    n = len(lam)
+    jac = np.zeros((n, 3, 9, 9))
+    lam2mu = lam + 2.0 * mu
+    inv_rho = 1.0 / rho
+
+    jac[:, 0, 0, 6] = -lam2mu
+    jac[:, 0, 1, 6] = -lam
+    jac[:, 0, 2, 6] = -lam
+    jac[:, 0, 3, 7] = -mu
+    jac[:, 0, 5, 8] = -mu
+    jac[:, 0, 6, 0] = -inv_rho
+    jac[:, 0, 7, 3] = -inv_rho
+    jac[:, 0, 8, 5] = -inv_rho
+
+    jac[:, 1, 0, 7] = -lam
+    jac[:, 1, 1, 7] = -lam2mu
+    jac[:, 1, 2, 7] = -lam
+    jac[:, 1, 3, 6] = -mu
+    jac[:, 1, 4, 8] = -mu
+    jac[:, 1, 6, 3] = -inv_rho
+    jac[:, 1, 7, 1] = -inv_rho
+    jac[:, 1, 8, 4] = -inv_rho
+
+    jac[:, 2, 0, 8] = -lam
+    jac[:, 2, 1, 8] = -lam
+    jac[:, 2, 2, 8] = -lam2mu
+    jac[:, 2, 4, 7] = -mu
+    jac[:, 2, 5, 6] = -mu
+    jac[:, 2, 6, 5] = -inv_rho
+    jac[:, 2, 7, 4] = -inv_rho
+    jac[:, 2, 8, 2] = -inv_rho
+    return jac
+
+
+def elastic_star_matrices(
+    inverse_jacobians: np.ndarray, lam: np.ndarray, mu: np.ndarray, rho: np.ndarray
+) -> np.ndarray:
+    """Element-local star matrices ``Abar_e_{k,c}`` of eq. (6)/(8).
+
+    ``Abar_{k,c} = sum_d (dxi_c / dx_d) A_d`` combines the physical Jacobians
+    with the element's inverse affine map so that the kernels can operate in
+    reference coordinates.  Returns shape ``(K, 3, 9, 9)``.
+    """
+    jac = elastic_jacobians_batch(lam, mu, rho)  # (K, 3, 9, 9)
+    inverse_jacobians = np.asarray(inverse_jacobians, dtype=np.float64)
+    return np.einsum("kcd,kdij->kcij", inverse_jacobians, jac)
+
+
+def wave_speeds(lam: np.ndarray, mu: np.ndarray, rho: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """P- and S-wave speeds from Lame parameters."""
+    lam = np.asarray(lam, dtype=np.float64)
+    mu = np.asarray(mu, dtype=np.float64)
+    rho = np.asarray(rho, dtype=np.float64)
+    vp = np.sqrt((lam + 2.0 * mu) / rho)
+    vs = np.sqrt(mu / rho)
+    return vp, vs

@@ -1,0 +1,143 @@
+"""Material models for the (visco)elastic wave equations.
+
+The solver works with per-element material tables sampled from a velocity
+model at the element centroids (the per-element seismic velocities written by
+the preprocessing pipeline, Sec. VI).  Quality factors ``Q_p``/``Q_s`` follow
+the frequency-independent (constant-Q) definition used by the High-F project
+and the LOH.3 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ElasticMaterial", "ViscoelasticMaterial", "MaterialTable"]
+
+
+@dataclass(frozen=True)
+class ElasticMaterial:
+    """Isotropic elastic material given by density and body-wave velocities."""
+
+    rho: float  #: density [kg/m^3]
+    vp: float  #: p-wave velocity [m/s]
+    vs: float  #: s-wave velocity [m/s]
+
+    def __post_init__(self) -> None:
+        if self.rho <= 0 or self.vp <= 0 or self.vs < 0:
+            raise ValueError("density and velocities must be positive (vs may be zero)")
+        if self.vs >= self.vp:
+            raise ValueError("shear velocity must be smaller than p-wave velocity")
+
+    @property
+    def mu(self) -> float:
+        """Shear modulus."""
+        return self.rho * self.vs**2
+
+    @property
+    def lam(self) -> float:
+        """First Lame parameter."""
+        return self.rho * (self.vp**2 - 2.0 * self.vs**2)
+
+
+@dataclass(frozen=True)
+class ViscoelasticMaterial(ElasticMaterial):
+    """Elastic material extended by constant-Q quality factors."""
+
+    qp: float = np.inf  #: p-wave quality factor
+    qs: float = np.inf  #: s-wave quality factor
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.qp <= 0 or self.qs <= 0:
+            raise ValueError("quality factors must be positive")
+
+
+class MaterialTable:
+    """Per-element material arrays for a mesh.
+
+    All arrays have one entry per element; this is the structure the kernels
+    consume directly (EDGE stores the equivalent per-element data in the
+    annotation files written by the preprocessing pipeline).
+    """
+
+    def __init__(
+        self,
+        rho: np.ndarray,
+        vp: np.ndarray,
+        vs: np.ndarray,
+        qp: np.ndarray | None = None,
+        qs: np.ndarray | None = None,
+    ):
+        self.rho = np.asarray(rho, dtype=np.float64)
+        self.vp = np.asarray(vp, dtype=np.float64)
+        self.vs = np.asarray(vs, dtype=np.float64)
+        n = len(self.rho)
+        if not (len(self.vp) == len(self.vs) == n):
+            raise ValueError("rho, vp and vs must have the same length")
+        if np.any(self.rho <= 0) or np.any(self.vp <= 0) or np.any(self.vs <= 0):
+            raise ValueError("material parameters must be positive")
+        if np.any(self.vs >= self.vp):
+            raise ValueError("vs must be smaller than vp everywhere")
+        self.qp = np.full(n, np.inf) if qp is None else np.asarray(qp, dtype=np.float64)
+        self.qs = np.full(n, np.inf) if qs is None else np.asarray(qs, dtype=np.float64)
+        if len(self.qp) != n or len(self.qs) != n:
+            raise ValueError("qp and qs must have the same length as rho")
+        if np.any(self.qp <= 0) or np.any(self.qs <= 0):
+            raise ValueError("quality factors must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        return len(self.rho)
+
+    @property
+    def mu(self) -> np.ndarray:
+        return self.rho * self.vs**2
+
+    @property
+    def lam(self) -> np.ndarray:
+        return self.rho * (self.vp**2 - 2.0 * self.vs**2)
+
+    @property
+    def max_wave_speed(self) -> np.ndarray:
+        return self.vp
+
+    def is_attenuating(self) -> bool:
+        """Whether any element carries a finite quality factor."""
+        return bool(np.any(np.isfinite(self.qp)) or np.any(np.isfinite(self.qs)))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, material: ElasticMaterial, n_elements: int) -> "MaterialTable":
+        """A table with the same material in every element."""
+        qp = getattr(material, "qp", np.inf)
+        qs = getattr(material, "qs", np.inf)
+        return cls(
+            rho=np.full(n_elements, material.rho),
+            vp=np.full(n_elements, material.vp),
+            vs=np.full(n_elements, material.vs),
+            qp=np.full(n_elements, qp),
+            qs=np.full(n_elements, qs),
+        )
+
+    @classmethod
+    def from_velocity_model(cls, model, centroids: np.ndarray) -> "MaterialTable":
+        """Sample a velocity model (see :mod:`repro.preprocessing.velocity_model`)
+        at element centroids."""
+        sample = model.sample(np.asarray(centroids, dtype=np.float64))
+        return cls(
+            rho=sample["rho"],
+            vp=sample["vp"],
+            vs=sample["vs"],
+            qp=sample.get("qp"),
+            qs=sample.get("qs"),
+        )
+
+    def subset(self, element_ids: np.ndarray) -> "MaterialTable":
+        """Material table restricted to the given elements (e.g. one partition)."""
+        ids = np.asarray(element_ids, dtype=np.int64)
+        return MaterialTable(
+            rho=self.rho[ids], vp=self.vp[ids], vs=self.vs[ids], qp=self.qp[ids], qs=self.qs[ids]
+        )

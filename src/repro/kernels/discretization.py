@@ -1,0 +1,321 @@
+"""Per-mesh discretization data for the ADER-DG kernels.
+
+A :class:`Discretization` bundles everything the kernels need and that is
+precomputed once per (mesh, material, order) combination -- the equivalent of
+EDGE's per-partition annotation data written by the preprocessing pipeline:
+
+* the reference element operators (mass/stiffness/flux matrices),
+* element-local star matrices of the elastic and anelastic Jacobians,
+* the relaxation spectrum and per-element/mechanism coupling matrices ``E_l``,
+* element-local flux solver matrices ``A~+-_{k,i}`` with the geometry factor
+  ``2 |S_i| / |J_k|`` folded in (boundary faces additionally fold in their
+  ghost-state operator),
+* the neighbouring flux matrices ``F_bar``, deduplicated into the small
+  unique set the paper exploits (Sec. III, ref. [31]), and
+* per-element CFL time steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..basis.reference_element import ReferenceElement, reference_element
+from ..equations.anelastic import (
+    RelaxationSpectrum,
+    anelastic_jacobians,
+    anelastic_lame_parameters,
+    anelastic_star_matrices,
+    coupling_matrices,
+    fit_constant_q,
+)
+from ..equations.elastic import elastic_star_matrices
+from ..equations.material import MaterialTable
+from ..equations.riemann import (
+    FLUX_KINDS,
+    anelastic_normal_jacobian,
+    free_surface_ghost_operator,
+    godunov_flux_matrices,
+    rusanov_flux_matrices,
+)
+from ..mesh.geometry import cfl_time_steps
+from ..mesh.tet_mesh import (
+    BOUNDARY_ANALYTIC,
+    BOUNDARY_FREE_SURFACE,
+    TetMesh,
+)
+
+__all__ = ["Discretization", "N_ELASTIC"]
+
+N_ELASTIC = 9
+
+
+class Discretization:
+    """Precomputed ADER-DG discretization of a mesh with a material table.
+
+    Parameters
+    ----------
+    mesh:
+        The conforming tetrahedral mesh.
+    materials:
+        Per-element material table.
+    order:
+        Order of convergence ``O`` (space-time order of the ADER-DG scheme).
+    n_mechanisms:
+        Number of anelastic relaxation mechanisms ``m``; ``0`` selects the
+        purely elastic wave equations.
+    frequency_band:
+        Band over which the constant-Q fit of the relaxation spectrum is
+        performed (only used when ``n_mechanisms > 0``).
+    flux:
+        ``"rusanov"`` or ``"godunov"`` (see :mod:`repro.equations.riemann`).
+    cfl:
+        CFL safety factor of the per-element time-step estimate.
+    """
+
+    def __init__(
+        self,
+        mesh: TetMesh,
+        materials: MaterialTable,
+        order: int = 4,
+        n_mechanisms: int = 0,
+        frequency_band: tuple[float, float] = (0.1, 10.0),
+        flux: str = "rusanov",
+        cfl: float = 0.5,
+    ):
+        if materials.n_elements != mesh.n_elements:
+            raise ValueError("material table size does not match the mesh")
+        if flux not in FLUX_KINDS:
+            raise ValueError(f"flux must be one of {FLUX_KINDS}, got {flux!r}")
+        if n_mechanisms < 0:
+            raise ValueError("n_mechanisms must be non-negative")
+
+        self.mesh = mesh
+        self.materials = materials
+        self.order = order
+        self.n_mechanisms = n_mechanisms
+        self.flux = flux
+        self.cfl = cfl
+
+        self.ref: ReferenceElement = reference_element(order)
+        self.n_basis = self.ref.n_basis
+        self.n_face_basis = self.ref.n_face_basis
+        self.n_vars = N_ELASTIC + 6 * n_mechanisms
+
+        geometry = mesh.geometry
+        self.time_steps = cfl_time_steps(
+            geometry.insphere_radii, materials.max_wave_speed, order, cfl
+        )
+
+        # -- volume operators ------------------------------------------------
+        lam, mu, rho = materials.lam, materials.mu, materials.rho
+        self.star_elastic = elastic_star_matrices(geometry.inverse_jacobians, lam, mu, rho)
+        if n_mechanisms > 0:
+            self.spectrum: RelaxationSpectrum | None = fit_constant_q(
+                frequency_band, n_mechanisms
+            )
+            self.omegas = self.spectrum.omegas
+            lam_a, mu_a = anelastic_lame_parameters(
+                lam, mu, materials.qp, materials.qs, self.spectrum
+            )
+            self.coupling = coupling_matrices(lam_a, mu_a)  # (K, m, 9, 6)
+            self.star_anelastic = anelastic_star_matrices(geometry.inverse_jacobians)
+        else:
+            self.spectrum = None
+            self.omegas = np.zeros(0)
+            self.coupling = np.zeros((mesh.n_elements, 0, 9, 6))
+            self.star_anelastic = np.zeros((mesh.n_elements, 3, 6, 9))
+
+        # -- flux solvers and neighbour flux matrices -------------------------
+        self._assemble_flux_solvers()
+        self._assemble_neighbor_flux_matrices()
+
+    # ------------------------------------------------------------------
+    # flux solvers
+    # ------------------------------------------------------------------
+    def _assemble_flux_solvers(self) -> None:
+        mesh, materials = self.mesh, self.materials
+        geometry = mesh.geometry
+        n_elements = mesh.n_elements
+        lam, mu, rho = materials.lam, materials.mu, materials.rho
+        neighbors = mesh.neighbors
+
+        flux_builder = rusanov_flux_matrices if self.flux == "rusanov" else godunov_flux_matrices
+
+        flux_local_e = np.empty((n_elements, 4, 9, 9))
+        flux_neigh_e = np.empty((n_elements, 4, 9, 9))
+        flux_local_a = np.empty((n_elements, 4, 6, 9))
+        flux_neigh_a = np.empty((n_elements, 4, 6, 9))
+
+        for k in range(n_elements):
+            for i in range(4):
+                normal = geometry.face_normals[k, i]
+                neighbor = neighbors[k, i]
+                if neighbor >= 0:
+                    mat_n = (lam[neighbor], mu[neighbor], rho[neighbor])
+                else:
+                    mat_n = (lam[k], mu[k], rho[k])
+                g_local, g_neigh = flux_builder(lam[k], mu[k], rho[k], *mat_n, normal)
+
+                an_a = anelastic_normal_jacobian(normal)
+                ga_local = 0.5 * an_a
+                ga_neigh = 0.5 * an_a
+
+                if neighbor < 0:
+                    ghost = self._ghost_operator(k, i, normal)
+                    g_neigh = g_neigh @ ghost
+                    ga_neigh = ga_neigh @ ghost
+
+                # weak-form sign and geometry scaling: -2 |S_i| / |J_k|
+                scale = -2.0 * geometry.face_areas[k, i] / geometry.determinants[k]
+                flux_local_e[k, i] = scale * g_local
+                flux_neigh_e[k, i] = scale * g_neigh
+                flux_local_a[k, i] = scale * ga_local
+                flux_neigh_a[k, i] = scale * ga_neigh
+
+        self.flux_local_elastic = flux_local_e
+        self.flux_neigh_elastic = flux_neigh_e
+        self.flux_local_anelastic = flux_local_a
+        self.flux_neigh_anelastic = flux_neigh_a
+
+    def _ghost_operator(self, element: int, face: int, normal: np.ndarray) -> np.ndarray:
+        tag = self.mesh.boundary_tags[element, face]
+        if tag == BOUNDARY_FREE_SURFACE:
+            return free_surface_ghost_operator(normal)
+        if tag == BOUNDARY_ANALYTIC:
+            # analytic (Dirichlet) ghost states are injected by the solver at
+            # run time; the flux solver matrix stays unmodified.
+            return np.eye(9)
+        return np.eye(9)  # absorbing: ghost state equals the interior trace
+
+    # ------------------------------------------------------------------
+    # neighbouring flux matrices
+    # ------------------------------------------------------------------
+    def _assemble_neighbor_flux_matrices(self) -> None:
+        """Build the matrices projecting a neighbour's modal trace onto the
+        local face basis, and deduplicate them.
+
+        For conforming affine meshes the composite map (local face
+        parametrisation -> physical space -> neighbour reference element)
+        only depends on which local face of the neighbour is shared and on
+        the vertex correspondence; the set of distinct matrices is therefore
+        tiny (the paper's 12 unique ``F_bar_{j,h}`` under EDGE's canonical
+        vertex ordering; at most 24 for arbitrary orderings).
+        """
+        mesh = self.mesh
+        ref = self.ref
+        n_elements = mesh.n_elements
+        quad = ref.face_quadrature
+        w = quad.weights
+        chi = ref.face_basis_at_quad  # (nqf, F)
+        neighbors = mesh.neighbors
+        verts = mesh.vertices[mesh.elements]  # (K, 4, 3)
+        v0 = verts[:, 0]
+        jac = mesh.geometry.jacobians
+        inv_jac = mesh.geometry.inverse_jacobians
+
+        unique: list[np.ndarray] = []
+        unique_lookup: dict[bytes, int] = {}
+        index = np.full((n_elements, 4), -1, dtype=np.int64)
+
+        for i in range(4):
+            interior = np.where(neighbors[:, i] >= 0)[0]
+            if len(interior) == 0:
+                continue
+            neigh = neighbors[interior, i]
+            # physical positions of the local face quadrature points
+            ref_pts = ref.face_quad_points[i]  # (nqf, 3)
+            phys = v0[interior, None, :] + np.einsum("kdr,qr->kqd", jac[interior], ref_pts)
+            # pull back into the neighbours' reference elements
+            rel = phys - v0[neigh][:, None, :]
+            xi_neigh = np.einsum("krd,kqd->kqr", inv_jac[neigh], rel)
+            psi = ref.basis.evaluate(xi_neigh.reshape(-1, 3)).reshape(
+                len(interior), quad.n_points, ref.n_basis
+            )
+            fbar = np.einsum("q,kqb,qf->kbf", w, psi, chi)
+
+            # deduplicate by a rounded key but keep the full-precision matrices
+            rounded = np.round(fbar, 9).reshape(len(interior), -1)
+            # round-to-zero avoids -0.0 / +0.0 hash mismatches
+            rounded[rounded == 0.0] = 0.0
+            for row, k in enumerate(interior):
+                key = rounded[row].tobytes()
+                match = unique_lookup.get(key)
+                if match is None:
+                    unique.append(fbar[row])
+                    match = len(unique) - 1
+                    unique_lookup[key] = match
+                index[k, i] = match
+
+        if unique:
+            self.neighbor_flux_matrices = np.stack(unique)
+        else:
+            self.neighbor_flux_matrices = np.zeros((0, ref.n_basis, ref.n_face_basis))
+        self.neighbor_flux_index = index
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        return self.mesh.n_elements
+
+    @property
+    def n_unique_neighbor_matrices(self) -> int:
+        return self.neighbor_flux_matrices.shape[0]
+
+    def allocate_dofs(self, n_fused: int = 0, dtype=np.float64) -> np.ndarray:
+        """Allocate a zero DOF array ``(K, N_q, B)`` (plus a fused axis if requested)."""
+        shape: tuple[int, ...] = (self.n_elements, self.n_vars, self.n_basis)
+        if n_fused > 0:
+            shape = shape + (n_fused,)
+        return np.zeros(shape, dtype=dtype)
+
+    def elastic_view(self, dofs: np.ndarray) -> np.ndarray:
+        """View of the elastic variables of a DOF array."""
+        return dofs[:, :N_ELASTIC]
+
+    def anelastic_view(self, dofs: np.ndarray, mechanism: int) -> np.ndarray:
+        """View of mechanism ``l``'s memory variables of a DOF array."""
+        start = N_ELASTIC + 6 * mechanism
+        return dofs[:, start : start + 6]
+
+    def project_initial_condition(self, func, n_fused: int = 0) -> np.ndarray:
+        """L2-project an initial condition ``func(points) -> (n_points, n_vars)``.
+
+        ``func`` receives physical coordinates with shape ``(n_points, 3)``
+        and must return the variable vector at those points.  For fused runs
+        the same initial condition is replicated across the ensemble.
+        """
+        quad = self.ref.volume_quadrature
+        psi = self.ref.basis.evaluate(quad.points)  # (nq, B)
+        verts = self.mesh.vertices[self.mesh.elements]
+        v0 = verts[:, 0]
+        jac = self.mesh.geometry.jacobians
+        phys = v0[:, None, :] + np.einsum("kdr,qr->kqd", jac, quad.points)  # (K, nq, 3)
+        values = np.asarray(func(phys.reshape(-1, 3)), dtype=np.float64)
+        values = values.reshape(self.n_elements, quad.n_points, -1)
+        if values.shape[2] != self.n_vars:
+            if values.shape[2] == N_ELASTIC:
+                padded = np.zeros((self.n_elements, quad.n_points, self.n_vars))
+                padded[:, :, :N_ELASTIC] = values
+                values = padded
+            else:
+                raise ValueError(
+                    f"initial condition returned {values.shape[2]} variables, "
+                    f"expected {self.n_vars} (or 9 elastic)"
+                )
+        coeffs = np.einsum("q,kqv,qb->kvb", quad.weights, values, psi)
+        coeffs = np.einsum("kvb,bc->kvc", coeffs, self.ref.inv_mass)
+        if n_fused > 0:
+            coeffs = np.repeat(coeffs[..., None], n_fused, axis=-1)
+        return coeffs
+
+    def evaluate_at_points(
+        self, dofs: np.ndarray, element_ids: np.ndarray, reference_points: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the DG solution of selected elements at reference points.
+
+        Returns ``(len(element_ids), n_points, n_vars[, n_fused])``.
+        """
+        psi = self.ref.basis.evaluate(reference_points)  # (n_points, B)
+        return np.einsum("kvb...,pb->kpv...", dofs[element_ids], psi)

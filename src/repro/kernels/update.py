@@ -1,0 +1,83 @@
+"""Element update scheme (eq. 14) and the reference one-step GTS update.
+
+The update of an element is split into a *local* step (time kernel, volume
+kernel, local surface kernel -- requires only the element's own data) and a
+*neighbouring* step (neighbouring surface kernel -- requires the
+face-neighbours' time-integrated data).  The split is what allows EDGE to
+hide communication behind computation and is preserved here because the
+local/neighbouring split is also the backbone of the LTS scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ader import compute_time_derivatives, time_integrate
+from .discretization import Discretization, N_ELASTIC
+from .surface import (
+    neighbor_face_coefficients,
+    project_local_traces,
+    surface_kernel_local,
+    surface_kernel_neighbor,
+)
+from .volume import volume_kernel
+
+__all__ = ["local_update", "neighbor_update", "gts_step"]
+
+
+def local_update(
+    disc: Discretization,
+    dofs: np.ndarray,
+    dt: float,
+    elements: np.ndarray | slice = slice(None),
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Local part of an element update over ``[t, t + dt]``.
+
+    Returns ``(delta, time_integrated, derivatives)``: the local update
+    increment (volume + local surface), the time-integrated DOFs used for it,
+    and the CK time derivatives (needed by the LTS buffers).
+    """
+    derivatives = compute_time_derivatives(disc, dofs, elements)
+    time_integrated = time_integrate(derivatives, 0.0, dt)
+    local_traces = project_local_traces(disc, time_integrated[:, :N_ELASTIC], elements)
+    delta = volume_kernel(disc, time_integrated, elements)
+    delta += surface_kernel_local(disc, time_integrated, elements, local_traces=local_traces)
+    return delta, time_integrated, derivatives
+
+
+def neighbor_update(
+    disc: Discretization,
+    neighbor_time_integrated_elastic: np.ndarray,
+    own_time_integrated: np.ndarray,
+    elements: np.ndarray,
+) -> np.ndarray:
+    """Neighbouring part of an element update.
+
+    ``neighbor_time_integrated_elastic`` has shape ``(E, 4, 9, B[, n_fused])``
+    and contains, per face, the neighbour's elastic time-integrated DOFs over
+    the element's time interval.
+    """
+    own_traces = project_local_traces(disc, own_time_integrated[:, :N_ELASTIC], elements)
+    coeffs = neighbor_face_coefficients(
+        disc, neighbor_time_integrated_elastic, own_traces, elements
+    )
+    return surface_kernel_neighbor(disc, coeffs, elements)
+
+
+def gts_step(disc: Discretization, dofs: np.ndarray, dt: float) -> np.ndarray:
+    """One global time step over all elements (the classic ADER-DG update).
+
+    This is the reference implementation used by the GTS solver and by the
+    LTS correctness tests; it returns the new DOF array.
+    """
+    all_elements = np.arange(disc.n_elements)
+    delta, time_integrated, _ = local_update(disc, dofs, dt, all_elements)
+
+    # gather the neighbours' time-integrated elastic DOFs per face
+    te = time_integrated[:, :N_ELASTIC]
+    neighbors = disc.mesh.neighbors
+    safe_neighbors = np.where(neighbors >= 0, neighbors, 0)
+    neighbor_te = te[safe_neighbors]  # (K, 4, 9, B[, n_fused])
+
+    delta += neighbor_update(disc, neighbor_te, time_integrated, all_elements)
+    return dofs + delta

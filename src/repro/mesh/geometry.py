@@ -1,0 +1,141 @@
+"""Affine geometry of tetrahedral elements.
+
+Every tetrahedron ``k`` is the image of the reference tetrahedron under the
+affine map ``x = v0_k + J_k xi`` where the columns of ``J_k`` are the edge
+vectors ``v1 - v0``, ``v2 - v0`` and ``v3 - v0``.  The ADER-DG kernels only
+need a handful of per-element quantities derived from that map; they are
+computed once, vectorised over all elements, and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..basis.reference_element import FACE_VERTEX_IDS
+
+__all__ = [
+    "GeometryCache",
+    "compute_geometry",
+    "cfl_time_steps",
+    "map_reference_to_physical",
+    "map_physical_to_reference",
+]
+
+
+@dataclass(frozen=True)
+class GeometryCache:
+    """Per-element affine geometry, vectorised over the mesh."""
+
+    jacobians: np.ndarray  #: (K, 3, 3) affine map matrices J_k
+    inverse_jacobians: np.ndarray  #: (K, 3, 3) J_k^{-1}
+    determinants: np.ndarray  #: (K,) det(J_k) = 6 * volume
+    volumes: np.ndarray  #: (K,) element volumes
+    centroids: np.ndarray  #: (K, 3) element centroids
+    face_areas: np.ndarray  #: (K, 4) physical face areas
+    face_normals: np.ndarray  #: (K, 4, 3) outward unit normals
+    face_centroids: np.ndarray  #: (K, 4, 3) face centroids
+    insphere_radii: np.ndarray  #: (K,) insphere radii 3 V / sum(face areas)
+    min_edge_lengths: np.ndarray  #: (K,) shortest edge per element
+
+    @property
+    def n_elements(self) -> int:
+        return self.volumes.shape[0]
+
+
+def compute_geometry(vertices: np.ndarray, elements: np.ndarray) -> GeometryCache:
+    """Compute :class:`GeometryCache` for all elements of a mesh."""
+    verts = vertices[elements]  # (K, 4, 3)
+    v0 = verts[:, 0]
+    jac = np.stack([verts[:, 1] - v0, verts[:, 2] - v0, verts[:, 3] - v0], axis=2)  # (K,3,3)
+    det = np.linalg.det(jac)
+    if np.any(det <= 0):
+        raise ValueError("all elements must be positively oriented")
+    inv_jac = np.linalg.inv(jac)
+    volumes = det / 6.0
+    centroids = verts.mean(axis=1)
+
+    n_elements = elements.shape[0]
+    face_areas = np.empty((n_elements, 4))
+    face_normals = np.empty((n_elements, 4, 3))
+    face_centroids = np.empty((n_elements, 4, 3))
+    for i, (a, b, c) in enumerate(FACE_VERTEX_IDS):
+        pa, pb, pc = verts[:, a], verts[:, b], verts[:, c]
+        cross = np.cross(pb - pa, pc - pa)
+        norm = np.linalg.norm(cross, axis=1)
+        face_areas[:, i] = 0.5 * norm
+        normal = cross / norm[:, None]
+        # orient outward: the normal must point away from the opposite vertex
+        opposite_local = ({0, 1, 2, 3} - {a, b, c}).pop()
+        to_opposite = verts[:, opposite_local] - pa
+        flip = np.einsum("kd,kd->k", normal, to_opposite) > 0
+        normal[flip] *= -1.0
+        face_normals[:, i] = normal
+        face_centroids[:, i] = (pa + pb + pc) / 3.0
+
+    insphere = 3.0 * volumes / face_areas.sum(axis=1)
+
+    edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+    edge_lengths = np.stack(
+        [np.linalg.norm(verts[:, b] - verts[:, a], axis=1) for a, b in edges], axis=1
+    )
+    min_edges = edge_lengths.min(axis=1)
+
+    return GeometryCache(
+        jacobians=jac,
+        inverse_jacobians=inv_jac,
+        determinants=det,
+        volumes=volumes,
+        centroids=centroids,
+        face_areas=face_areas,
+        face_normals=face_normals,
+        face_centroids=face_centroids,
+        insphere_radii=insphere,
+        min_edge_lengths=min_edges,
+    )
+
+
+def cfl_time_steps(
+    insphere_radii: np.ndarray,
+    max_wave_speeds: np.ndarray,
+    order: int,
+    cfl: float = 0.5,
+) -> np.ndarray:
+    """Per-element CFL time steps ``dt_k`` of the ADER-DG scheme.
+
+    Follows the standard ADER-DG stability estimate
+    ``dt_k = cfl * 2 r_k / ((2 O - 1) v_max_k)`` with ``r_k`` the insphere
+    radius, ``O`` the order of convergence and ``v_max_k`` the fastest wave
+    speed inside the element (the p-wave speed).
+    """
+    insphere_radii = np.asarray(insphere_radii, dtype=np.float64)
+    max_wave_speeds = np.asarray(max_wave_speeds, dtype=np.float64)
+    if np.any(max_wave_speeds <= 0):
+        raise ValueError("wave speeds must be positive")
+    if order < 1:
+        raise ValueError("order must be >= 1")
+    return cfl * 2.0 * insphere_radii / ((2.0 * order - 1.0) * max_wave_speeds)
+
+
+def map_reference_to_physical(
+    vertices: np.ndarray, elements: np.ndarray, element_ids: np.ndarray, xi: np.ndarray
+) -> np.ndarray:
+    """Map reference points ``xi`` (n, 3) into physical space for each element id.
+
+    Returns ``(len(element_ids), n, 3)``.
+    """
+    verts = vertices[elements[element_ids]]  # (E, 4, 3)
+    v0 = verts[:, 0]
+    jac = np.stack([verts[:, 1] - v0, verts[:, 2] - v0, verts[:, 3] - v0], axis=2)
+    return v0[:, None, :] + np.einsum("edr,nr->end", jac, np.atleast_2d(xi))
+
+
+def map_physical_to_reference(
+    vertices: np.ndarray, elements: np.ndarray, element_id: int, points: np.ndarray
+) -> np.ndarray:
+    """Map physical ``points`` (n, 3) into the reference coordinates of one element."""
+    verts = vertices[elements[element_id]]
+    v0 = verts[0]
+    jac = np.stack([verts[1] - v0, verts[2] - v0, verts[3] - v0], axis=1)
+    return np.linalg.solve(jac, (np.atleast_2d(points) - v0).T).T

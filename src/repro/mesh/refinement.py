@@ -1,0 +1,82 @@
+"""Velocity-aware mesh resolution targets.
+
+The preprocessing pipeline (Fig. 8 of the paper) queries the seismic velocity
+model at mesh nodes and evaluates user rules for the elements' target edge
+lengths, typically "n elements per shortest wavelength".  This module
+implements those rules; :mod:`repro.mesh.generation` consumes the resulting
+target-edge-length functions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = [
+    "elements_per_wavelength_rule",
+    "edge_length_profile_from_velocity",
+    "characteristic_lengths",
+]
+
+
+def elements_per_wavelength_rule(
+    min_shear_velocity: Callable[[float], float] | float,
+    max_frequency: float,
+    elements_per_wavelength: float,
+    order: int,
+    min_edge_length: float = 0.0,
+) -> Callable[[float], float]:
+    """Build a target-edge-length rule ``h(z)`` from a velocity profile.
+
+    The shortest resolved wavelength is ``vs_min / f_max``; with ``order``-th
+    order elements the rule distributes ``elements_per_wavelength`` *degrees
+    of freedom per wavelength*, i.e. the characteristic edge length is
+
+    ``h = vs_min / f_max / elements_per_wavelength * (order - 1)``.
+
+    ``min_shear_velocity`` may be a constant or a function of depth ``z``.
+    """
+    if max_frequency <= 0 or elements_per_wavelength <= 0:
+        raise ValueError("frequency and elements per wavelength must be positive")
+    if order < 2:
+        raise ValueError("the wavelength rule needs order >= 2")
+
+    def rule(z: float) -> float:
+        vs = min_shear_velocity(z) if callable(min_shear_velocity) else min_shear_velocity
+        if vs <= 0:
+            raise ValueError("shear velocity must be positive")
+        wavelength = vs / max_frequency
+        h = wavelength / elements_per_wavelength * (order - 1)
+        return max(h, min_edge_length)
+
+    return rule
+
+
+def edge_length_profile_from_velocity(
+    depths: np.ndarray, shear_velocities: np.ndarray, max_frequency: float,
+    elements_per_wavelength: float, order: int,
+) -> Callable[[float], float]:
+    """Piecewise-constant edge-length rule from a sampled velocity profile."""
+    depths = np.asarray(depths, dtype=np.float64)
+    shear_velocities = np.asarray(shear_velocities, dtype=np.float64)
+    if depths.shape != shear_velocities.shape or depths.ndim != 1:
+        raise ValueError("depths and shear_velocities must be 1-D arrays of equal length")
+    order_idx = np.argsort(depths)
+    depths = depths[order_idx]
+    shear_velocities = shear_velocities[order_idx]
+
+    def vs_of_depth(z: float) -> float:
+        idx = np.searchsorted(depths, z, side="right") - 1
+        idx = int(np.clip(idx, 0, len(depths) - 1))
+        return float(shear_velocities[idx])
+
+    return elements_per_wavelength_rule(
+        vs_of_depth, max_frequency, elements_per_wavelength, order
+    )
+
+
+def characteristic_lengths(mesh_volumes: np.ndarray) -> np.ndarray:
+    """Characteristic edge length per element: edge of the regular tet of equal volume."""
+    mesh_volumes = np.asarray(mesh_volumes, dtype=np.float64)
+    return (mesh_volumes * 6.0 * np.sqrt(2.0)) ** (1.0 / 3.0)

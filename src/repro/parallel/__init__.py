@@ -1,0 +1,23 @@
+"""Distributed-memory substrate: partitioning, communication accounting, scaling model."""
+
+from .communicator import MessageStats, SimulatedCommunicator
+from .exchange import HaloFace, build_halo, exchange_face_data, exchange_volumes_per_cycle
+from .machine_model import FRONTERA_NODE, MachineNode, ScalingPoint, strong_scaling_study
+from .partition import PartitionResult, element_weights, face_weights, partition_dual_graph
+
+__all__ = [
+    "PartitionResult",
+    "element_weights",
+    "face_weights",
+    "partition_dual_graph",
+    "SimulatedCommunicator",
+    "MessageStats",
+    "HaloFace",
+    "build_halo",
+    "exchange_volumes_per_cycle",
+    "exchange_face_data",
+    "MachineNode",
+    "FRONTERA_NODE",
+    "ScalingPoint",
+    "strong_scaling_study",
+]

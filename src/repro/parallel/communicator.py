@@ -1,0 +1,80 @@
+"""Simulated message passing with byte and message accounting.
+
+No MPI implementation is available in this environment, so the distributed-
+memory behaviour of the solver is exercised through an in-process simulated
+communicator: ranks are plain indices, sends and receives move NumPy arrays
+between per-rank mailboxes, and every transfer is accounted (message count
+and payload bytes).  The strong-scaling model and the communication-scheme
+benchmarks consume these counters; the interface mirrors the small subset of
+MPI the real solver needs (point-to-point send/recv and barriers).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MessageStats", "SimulatedCommunicator"]
+
+
+@dataclass
+class MessageStats:
+    """Accumulated communication statistics of a simulated run."""
+
+    n_messages: int = 0
+    n_bytes: int = 0
+    per_pair: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+
+    def record(self, src: int, dst: int, n_bytes: int) -> None:
+        self.n_messages += 1
+        self.n_bytes += n_bytes
+        entry = self.per_pair[(src, dst)]
+        entry[0] += 1
+        entry[1] += n_bytes
+
+
+class SimulatedCommunicator:
+    """An in-process stand-in for an MPI communicator.
+
+    Messages are delivered immediately into the destination rank's mailbox
+    and tagged; ``recv`` pops the oldest matching message.  All traffic is
+    recorded in :attr:`stats`.
+    """
+
+    def __init__(self, n_ranks: int):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.n_ranks = n_ranks
+        self._mailboxes: dict[tuple[int, int, int], list[np.ndarray]] = defaultdict(list)
+        self.stats = MessageStats()
+
+    def send(self, payload: np.ndarray, src: int, dst: int, tag: int = 0) -> None:
+        """Send ``payload`` from rank ``src`` to rank ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = np.asarray(payload)
+        self._mailboxes[(src, dst, tag)].append(payload.copy())
+        self.stats.record(src, dst, payload.nbytes)
+
+    def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
+        """Receive the oldest pending message from ``src`` at rank ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        queue = self._mailboxes[(src, dst, tag)]
+        if not queue:
+            raise RuntimeError(f"no pending message from rank {src} to rank {dst} (tag {tag})")
+        return queue.pop(0)
+
+    def pending(self, src: int, dst: int, tag: int = 0) -> int:
+        """Number of undelivered messages on a channel."""
+        return len(self._mailboxes[(src, dst, tag)])
+
+    def all_delivered(self) -> bool:
+        """Whether every sent message has been received."""
+        return all(len(queue) == 0 for queue in self._mailboxes.values())
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range (n_ranks = {self.n_ranks})")

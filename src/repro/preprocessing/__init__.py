@@ -1,0 +1,17 @@
+"""Preprocessing pipeline: velocity models, velocity-aware meshing, clustering, partitioning, IO."""
+
+from .partition_io import list_partitions, read_partition, write_partitions
+from .pipeline import PreprocessedModel, PreprocessingPipeline
+from .velocity_model import LaHabraBasinModel, Layer, LayeredVelocityModel, loh3_model
+
+__all__ = [
+    "Layer",
+    "LayeredVelocityModel",
+    "loh3_model",
+    "LaHabraBasinModel",
+    "PreprocessedModel",
+    "PreprocessingPipeline",
+    "write_partitions",
+    "read_partition",
+    "list_partitions",
+]

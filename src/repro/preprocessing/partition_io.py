@@ -1,0 +1,75 @@
+"""Per-partition on-disk representation of a preprocessed model.
+
+The preprocessing writes "the reordered mesh ... partition-wise to disk" plus
+"a second file per partition which contains supporting data required by the
+core solver" (Sec. VI); at scale every process then reads exactly its two
+files and needs no further communication to initialise.  Here both files are
+combined into a single compressed ``.npz`` archive per partition containing
+the partition's elements (with global vertex coordinates), material data,
+time steps, cluster ids and the ids of the elements whose data must be sent
+to other partitions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_partitions", "read_partition", "list_partitions"]
+
+
+def write_partitions(model, directory: str | Path) -> list[Path]:
+    """Write one ``partition_<p>.npz`` archive per partition; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    mesh = model.mesh
+    paths: list[Path] = []
+    n_partitions = int(model.partitions.max()) + 1
+    for p in range(n_partitions):
+        local = np.where(model.partitions == p)[0]
+        neighbors = mesh.neighbors[local]
+        neighbor_partitions = np.where(
+            neighbors >= 0, model.partitions[np.maximum(neighbors, 0)], -1
+        )
+        send_elements = local[
+            np.any((neighbors >= 0) & (neighbor_partitions != p), axis=1)
+        ]
+        path = directory / f"partition_{p:05d}.npz"
+        np.savez_compressed(
+            path,
+            element_ids=local,
+            elements=mesh.elements[local],
+            vertices=mesh.vertices,
+            boundary_tags=mesh.boundary_tags[local],
+            neighbors=neighbors,
+            neighbor_partitions=neighbor_partitions,
+            rho=model.materials.rho[local],
+            vp=model.materials.vp[local],
+            vs=model.materials.vs[local],
+            qp=model.materials.qp[local],
+            qs=model.materials.qs[local],
+            time_steps=model.time_steps[local],
+            cluster_ids=model.clustering.cluster_ids[local],
+            cluster_time_steps=model.clustering.cluster_time_steps,
+            send_elements=send_elements,
+            order=model.order,
+            n_mechanisms=model.n_mechanisms,
+        )
+        paths.append(path)
+    return paths
+
+
+def read_partition(path: str | Path) -> dict:
+    """Read one partition archive back into a plain dictionary of arrays."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+def list_partitions(directory: str | Path) -> list[Path]:
+    """All partition archives in a directory, ordered by partition id."""
+    directory = Path(directory)
+    return sorted(directory.glob("partition_*.npz"))

@@ -1,0 +1,140 @@
+"""Seismic velocity models.
+
+Two models matter for the paper's workloads:
+
+* the LOH.3 layer-over-halfspace model with its exact published parameters
+  (Sec. VII-B), and
+* the CVM-S4.26.M01 community velocity model of the La Habra region.  The
+  CVM is proprietary-scale external data that is not available offline, so a
+  synthetic basin model reproduces its features that drive the paper's
+  evaluation: a shallow low-velocity basin (minimum shear velocity cut-off
+  configurable down to 250 m/s as in Sec. VII-C), a velocity gradient with
+  depth, and a fast halfspace underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Layer", "LayeredVelocityModel", "loh3_model", "LaHabraBasinModel"]
+
+
+@dataclass(frozen=True)
+class Layer:
+    """A horizontal layer ``z_top >= z > z_bottom`` (z is up, surface at 0)."""
+
+    z_top: float
+    z_bottom: float
+    rho: float
+    vp: float
+    vs: float
+    qp: float = np.inf
+    qs: float = np.inf
+
+
+class LayeredVelocityModel:
+    """A stack of horizontal layers queried by depth."""
+
+    def __init__(self, layers: list[Layer]):
+        if not layers:
+            raise ValueError("need at least one layer")
+        self.layers = sorted(layers, key=lambda layer: -layer.z_top)
+
+    def sample(self, points: np.ndarray) -> dict[str, np.ndarray]:
+        """Sample the model at ``points`` (n, 3); returns per-point arrays."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        z = points[:, 2]
+        out = {
+            key: np.empty(len(z))
+            for key in ("rho", "vp", "vs", "qp", "qs")
+        }
+        assigned = np.zeros(len(z), dtype=bool)
+        for layer in self.layers:
+            mask = (~assigned) & (z <= layer.z_top + 1e-9)
+            in_layer = mask & (z > layer.z_bottom)
+            for key in out:
+                out[key][in_layer] = getattr(layer, key)
+            assigned |= in_layer
+        # anything below the last layer gets the deepest layer's values
+        bottom = self.layers[-1]
+        for key in out:
+            out[key][~assigned] = getattr(bottom, key)
+        return out
+
+    def min_shear_velocity(self, z: float) -> float:
+        """Shear velocity at depth ``z`` (used by the meshing rules)."""
+        return float(self.sample(np.array([[0.0, 0.0, z]]))["vs"][0])
+
+
+def loh3_model() -> LayeredVelocityModel:
+    """The LOH.3 benchmark model (Sec. VII-B, ref. [37]).
+
+    Layer (1000 m): vs = 2000 m/s, vp = 4000 m/s, rho = 2600 kg/m^3,
+    Qs = 40, Qp = 120; halfspace: vs = 3464 m/s, vp = 6000 m/s,
+    rho = 2700 kg/m^3, Qs = 69.3, Qp = 155.9.
+    """
+    return LayeredVelocityModel(
+        [
+            Layer(z_top=0.0, z_bottom=-1000.0, rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0),
+            Layer(z_top=-1000.0, z_bottom=-1e9, rho=2700.0, vp=6000.0, vs=3464.0, qp=155.9, qs=69.3),
+        ]
+    )
+
+
+@dataclass
+class LaHabraBasinModel:
+    """Synthetic stand-in for the CVM-S4.26.M01 model of the La Habra region.
+
+    The model has a sedimentary basin whose depth varies laterally (a smooth
+    bump centred in the domain), a linear velocity gradient inside the basin
+    down to the configurable minimum shear velocity, and a crystalline
+    halfspace below.  Quality factors follow the common ``Q_s = 50 vs_km``
+    rule, ``Q_p = 2 Q_s``.
+    """
+
+    extent: tuple[float, float, float, float]  #: (x0, x1, y0, y1) of the region
+    min_vs: float = 250.0  #: minimum (cut-off) shear velocity, paper uses 250 m/s
+    basin_vs: float = 900.0  #: shear velocity at the basin bottom
+    basin_max_depth: float = 3000.0
+    halfspace_vs: float = 3200.0
+    halfspace_vp: float = 5500.0
+    halfspace_rho: float = 2700.0
+
+    def basin_depth(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Basin depth (positive, metres) as a smooth function of position.
+
+        The basin pinches out towards the domain boundary (depth exactly zero
+        outside the central bump), so stations outside the basin sit on rock.
+        """
+        x0, x1, y0, y1 = self.extent
+        cx, cy = 0.5 * (x0 + x1), 0.5 * (y0 + y1)
+        lx, ly = 0.35 * (x1 - x0), 0.35 * (y1 - y0)
+        bump = np.exp(-(((x - cx) / lx) ** 2 + ((y - cy) / ly) ** 2))
+        return self.basin_max_depth * np.clip((bump - 0.2) / 0.8, 0.0, None)
+
+    def sample(self, points: np.ndarray) -> dict[str, np.ndarray]:
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        x, y, z = points[:, 0], points[:, 1], points[:, 2]
+        depth = -z
+        basin = self.basin_depth(x, y)
+        in_basin = depth < basin
+        # linear gradient from min_vs at the surface to basin_vs at the basin bottom
+        frac = np.clip(np.where(basin > 0, depth / np.maximum(basin, 1e-6), 1.0), 0.0, 1.0)
+        vs_basin = self.min_vs + (self.basin_vs - self.min_vs) * frac
+        vs = np.where(in_basin, vs_basin, self.halfspace_vs)
+        vp = np.where(in_basin, np.maximum(1.9 * vs, 1500.0), self.halfspace_vp)
+        rho = np.where(in_basin, 1900.0 + 0.3 * vs, self.halfspace_rho)
+        qs = 0.05 * vs  # the common "Q_s = 50 * vs [km/s]" rule
+        qs = np.clip(qs, 20.0, 200.0)
+        qp = 2.0 * qs
+        return {"rho": rho, "vp": vp, "vs": vs, "qp": qp, "qs": qs}
+
+    def min_shear_velocity(self, z: float) -> float:
+        """Worst-case (smallest) shear velocity at depth ``z`` over the region."""
+        depth = -z
+        if depth < self.basin_max_depth:
+            frac = np.clip(depth / self.basin_max_depth, 0.0, 1.0)
+            return float(self.min_vs + (self.basin_vs - self.min_vs) * frac)
+        return float(self.halfspace_vs)

@@ -1,0 +1,27 @@
+"""Seismic sources, receivers and seismogram utilities."""
+
+from .misfit import envelope_misfit, seismogram_misfit
+from .moment_tensor import (
+    DiscretePointSource,
+    MomentTensorSource,
+    PointForceSource,
+    locate_point,
+)
+from .receivers import Receiver, ReceiverSet, lowpass_filter, resample_seismogram
+from .time_functions import GaussianDerivative, RickerWavelet, SmoothedStep
+
+__all__ = [
+    "RickerWavelet",
+    "GaussianDerivative",
+    "SmoothedStep",
+    "MomentTensorSource",
+    "PointForceSource",
+    "DiscretePointSource",
+    "locate_point",
+    "Receiver",
+    "ReceiverSet",
+    "resample_seismogram",
+    "lowpass_filter",
+    "seismogram_misfit",
+    "envelope_misfit",
+]

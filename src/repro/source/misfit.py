@@ -1,0 +1,37 @@
+"""Seismogram misfit measures.
+
+Sec. VII-B of the paper quantifies the agreement between solutions with the
+relative energy misfit ``E = sum_j (s_j - s^r_j)^2 / sum_j (s^r_j)^2`` over
+the ``n_t`` samples of the seismogram; the same measure is implemented here
+(plus a time-shift tolerant envelope variant used by some verification
+exercises).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seismogram_misfit", "envelope_misfit"]
+
+
+def seismogram_misfit(solution: np.ndarray, reference: np.ndarray) -> float:
+    """Relative energy misfit ``E`` of the paper (eq. in Sec. VII-B)."""
+    solution = np.asarray(solution, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if solution.shape != reference.shape:
+        raise ValueError("solution and reference must have the same shape")
+    denom = float(np.sum(reference**2))
+    if denom == 0.0:
+        raise ValueError("reference seismogram is identically zero")
+    return float(np.sum((solution - reference) ** 2) / denom)
+
+
+def envelope_misfit(solution: np.ndarray, reference: np.ndarray) -> float:
+    """Misfit of the signal envelopes (tolerant to small phase shifts)."""
+    from scipy.signal import hilbert
+
+    solution = np.asarray(solution, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    env_solution = np.abs(hilbert(solution, axis=0))
+    env_reference = np.abs(hilbert(reference, axis=0))
+    return seismogram_misfit(env_solution, env_reference)

@@ -1,0 +1,122 @@
+"""Receivers (seismic stations) and synthetic seismograms.
+
+A receiver samples the particle velocities at a fixed physical location every
+time the element containing it completes a local time step -- which gives a
+seismogram sampled at the element's local time step, exactly as EDGE's
+receiver output behaves under local time stepping.  Seismograms can be
+resampled to a common time axis and low-pass filtered for comparisons
+(Figs. 2 and 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.discretization import Discretization
+from ..mesh.geometry import map_physical_to_reference
+from .moment_tensor import locate_point
+
+__all__ = ["Receiver", "ReceiverSet", "resample_seismogram", "lowpass_filter"]
+
+
+@dataclass
+class Receiver:
+    """A single station recording the particle velocity vector."""
+
+    name: str
+    location: np.ndarray
+    element: int = -1
+    basis_values: np.ndarray | None = field(default=None, repr=False)
+    times: list[float] = field(default_factory=list, repr=False)
+    samples: list[np.ndarray] = field(default_factory=list, repr=False)
+
+    def record(self, time: float, dofs: np.ndarray) -> None:
+        """Sample the velocity at the receiver from the global DOF array."""
+        coeffs = dofs[self.element, 6:9]  # (3, B[, n_fused])
+        value = np.einsum("vb...,b->v...", coeffs, self.basis_values)
+        self.times.append(time)
+        self.samples.append(np.asarray(value))
+
+    def seismogram(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, velocities)`` with velocities of shape ``(n, 3[, n_fused])``."""
+        if not self.times:
+            return np.zeros(0), np.zeros((0, 3))
+        return np.asarray(self.times), np.stack(self.samples)
+
+    def clear(self) -> None:
+        self.times.clear()
+        self.samples.clear()
+
+
+class ReceiverSet:
+    """A collection of receivers bound to a discretization."""
+
+    def __init__(self, disc: Discretization, locations: dict[str, np.ndarray]):
+        self.receivers: list[Receiver] = []
+        mesh = disc.mesh
+        for name, location in locations.items():
+            location = np.asarray(location, dtype=np.float64)
+            element = locate_point(mesh, location)
+            xi = map_physical_to_reference(mesh.vertices, mesh.elements, element, location)[0]
+            xi = np.clip(xi, 0.0, 1.0)
+            basis_values = disc.ref.basis.evaluate(xi[None, :])[0]
+            self.receivers.append(
+                Receiver(name=name, location=location, element=element, basis_values=basis_values)
+            )
+        self._by_element: dict[int, list[Receiver]] = {}
+        for receiver in self.receivers:
+            self._by_element.setdefault(receiver.element, []).append(receiver)
+
+    def __len__(self) -> int:
+        return len(self.receivers)
+
+    def __getitem__(self, name: str) -> Receiver:
+        for receiver in self.receivers:
+            if receiver.name == name:
+                return receiver
+        raise KeyError(name)
+
+    @property
+    def elements(self) -> np.ndarray:
+        """Element ids containing at least one receiver."""
+        return np.array(sorted(self._by_element), dtype=np.int64)
+
+    def record_elements(self, element_ids: np.ndarray, time: float, dofs: np.ndarray) -> None:
+        """Record all receivers whose element is in ``element_ids`` at ``time``."""
+        for k in np.intersect1d(element_ids, self.elements, assume_unique=False):
+            for receiver in self._by_element[int(k)]:
+                receiver.record(time, dofs)
+
+    def record_all(self, time: float, dofs: np.ndarray) -> None:
+        for receiver in self.receivers:
+            receiver.record(time, dofs)
+
+    def clear(self) -> None:
+        for receiver in self.receivers:
+            receiver.clear()
+
+
+def resample_seismogram(
+    times: np.ndarray, values: np.ndarray, target_times: np.ndarray
+) -> np.ndarray:
+    """Linearly resample a seismogram onto a common time axis (per component)."""
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if len(times) < 2:
+        raise ValueError("need at least two samples to resample")
+    flat = values.reshape(len(times), -1)
+    out = np.stack([np.interp(target_times, times, flat[:, c]) for c in range(flat.shape[1])], axis=1)
+    return out.reshape((len(target_times),) + values.shape[1:])
+
+
+def lowpass_filter(values: np.ndarray, dt: float, cutoff_hz: float, order: int = 4) -> np.ndarray:
+    """Zero-phase Butterworth low-pass filter along the first axis."""
+    from scipy.signal import butter, filtfilt
+
+    nyquist = 0.5 / dt
+    if cutoff_hz >= nyquist:
+        return values
+    b, a = butter(order, cutoff_hz / nyquist)
+    return filtfilt(b, a, values, axis=0)

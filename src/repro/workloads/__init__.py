@@ -1,0 +1,22 @@
+"""Workload definitions: LOH.3 and the (scaled / synthetic) La Habra setting."""
+
+from .la_habra import (
+    PAPER_CLUSTER_COUNTS,
+    PAPER_LAMBDA,
+    PAPER_SPEEDUP,
+    LaHabraSetup,
+    la_habra_setup,
+    la_habra_time_step_distribution,
+)
+from .loh3 import Loh3Setup, loh3_setup
+
+__all__ = [
+    "Loh3Setup",
+    "loh3_setup",
+    "LaHabraSetup",
+    "la_habra_setup",
+    "la_habra_time_step_distribution",
+    "PAPER_CLUSTER_COUNTS",
+    "PAPER_LAMBDA",
+    "PAPER_SPEEDUP",
+]

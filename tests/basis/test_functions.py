@@ -1,0 +1,107 @@
+"""Unit tests for the orthonormal modal basis on simplices."""
+
+import numpy as np
+import pytest
+
+from repro.basis.functions import (
+    TetBasis,
+    TriBasis,
+    basis_size,
+    face_basis_size,
+    tet_basis_indices,
+    tri_basis_indices,
+)
+from repro.basis.quadrature import tetrahedron_quadrature, triangle_quadrature
+
+
+class TestBasisCounts:
+    @pytest.mark.parametrize("order,expected", [(1, 1), (2, 4), (3, 10), (4, 20), (5, 35)])
+    def test_tet_basis_size_matches_paper(self, order, expected):
+        assert basis_size(order) == expected
+        assert len(tet_basis_indices(order)) == expected
+
+    @pytest.mark.parametrize("order,expected", [(1, 1), (2, 3), (3, 6), (4, 10), (5, 15)])
+    def test_face_basis_size_matches_paper(self, order, expected):
+        assert face_basis_size(order) == expected
+        assert len(tri_basis_indices(order)) == expected
+
+    def test_hierarchical_ordering(self):
+        # the order-3 index list must be a prefix of the order-5 list
+        assert tet_basis_indices(5)[: basis_size(3)] == tet_basis_indices(3)
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            basis_size(0)
+        with pytest.raises(ValueError):
+            TetBasis(0)
+
+
+class TestTetBasisOrthonormality:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_mass_matrix_is_identity(self, order):
+        basis = TetBasis(order)
+        quad = tetrahedron_quadrature(order + 2)
+        psi = basis.evaluate(quad.points)
+        mass = np.einsum("q,qb,qc->bc", quad.weights, psi, psi)
+        np.testing.assert_allclose(mass, np.eye(basis.size), atol=1e-10)
+
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_first_function_is_constant(self, order):
+        basis = TetBasis(order)
+        pts = np.array([[0.1, 0.2, 0.3], [0.25, 0.25, 0.25], [0.05, 0.1, 0.7]])
+        vals = basis.evaluate(pts)[:, 0]
+        # constant = 1 / sqrt(volume) = sqrt(6)
+        np.testing.assert_allclose(vals, np.sqrt(6.0) * np.ones(3), rtol=1e-12)
+
+    @pytest.mark.parametrize("order", [2, 3, 5])
+    def test_spans_polynomials(self, order):
+        """Any polynomial of degree <= order-1 must be exactly representable."""
+        basis = TetBasis(order)
+        quad = tetrahedron_quadrature(order + 2)
+        psi = basis.evaluate(quad.points)
+        x, y, z = quad.points.T
+        target = (1.0 + 0.5 * x - y + 2.0 * z) ** (order - 1)
+        coeffs = np.einsum("q,q,qb->b", quad.weights, target, psi)
+        reconstructed = psi @ coeffs
+        np.testing.assert_allclose(reconstructed, target, atol=1e-9)
+
+
+class TestTetBasisGradient:
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_gradient_matches_finite_difference(self, order):
+        basis = TetBasis(order)
+        rng = np.random.default_rng(7)
+        pts = rng.dirichlet(np.ones(4), size=20)[:, :3] * 0.9 + 0.02
+        grad = basis.evaluate_gradient(pts)
+        h = 1e-6
+        for d in range(3):
+            shift = np.zeros(3)
+            shift[d] = h
+            fd = (basis.evaluate(pts + shift) - basis.evaluate(pts - shift)) / (2 * h)
+            np.testing.assert_allclose(grad[:, :, d], fd, atol=5e-5)
+
+    def test_gradient_of_constant_mode_is_zero(self):
+        basis = TetBasis(4)
+        pts = np.array([[0.2, 0.3, 0.1]])
+        grad = basis.evaluate_gradient(pts)
+        np.testing.assert_allclose(grad[:, 0, :], 0.0, atol=1e-12)
+
+
+class TestTriBasis:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5])
+    def test_orthonormal_on_reference_triangle(self, order):
+        basis = TriBasis(order)
+        quad = triangle_quadrature(order + 2)
+        chi = basis.evaluate(quad.points)
+        mass = np.einsum("q,qa,qb->ab", quad.weights, chi, chi)
+        np.testing.assert_allclose(mass, np.eye(basis.size), atol=1e-10)
+
+    def test_spans_face_polynomials(self):
+        order = 4
+        basis = TriBasis(order)
+        quad = triangle_quadrature(order + 2)
+        chi = basis.evaluate(quad.points)
+        u, v = quad.points.T
+        target = (0.3 + u - 2.0 * v) ** (order - 1)
+        coeffs = np.einsum("q,q,qf->f", quad.weights, target, chi)
+        np.testing.assert_allclose(chi @ coeffs, target, atol=1e-10)

@@ -1,0 +1,82 @@
+"""Unit tests for simplex quadrature rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis.quadrature import tetrahedron_quadrature, triangle_quadrature
+
+
+def _monomial_integral_triangle(i, j):
+    """Exact integral of x^i y^j over the reference triangle."""
+    from math import factorial
+
+    return factorial(i) * factorial(j) / factorial(i + j + 2)
+
+
+def _monomial_integral_tet(i, j, k):
+    """Exact integral of x^i y^j z^k over the reference tetrahedron."""
+    from math import factorial
+
+    return factorial(i) * factorial(j) * factorial(k) / factorial(i + j + k + 3)
+
+
+class TestTriangleQuadrature:
+    def test_total_weight_is_area(self):
+        quad = triangle_quadrature(4)
+        np.testing.assert_allclose(np.sum(quad.weights), 0.5, rtol=1e-13)
+
+    def test_points_inside(self):
+        quad = triangle_quadrature(6)
+        x, y = quad.points[:, 0], quad.points[:, 1]
+        assert np.all(x > 0) and np.all(y > 0) and np.all(x + y < 1)
+
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_monomial_exactness(self, n):
+        quad = triangle_quadrature(n)
+        for i in range(n):
+            for j in range(n - i):
+                val = np.sum(quad.weights * quad.points[:, 0] ** i * quad.points[:, 1] ** j)
+                np.testing.assert_allclose(val, _monomial_integral_triangle(i, j), rtol=1e-11)
+
+    def test_integrate_helper(self):
+        quad = triangle_quadrature(3)
+        values = np.ones((quad.n_points, 2))
+        result = quad.integrate(values)
+        np.testing.assert_allclose(result, [0.5, 0.5])
+
+
+class TestTetrahedronQuadrature:
+    def test_total_weight_is_volume(self):
+        quad = tetrahedron_quadrature(4)
+        np.testing.assert_allclose(np.sum(quad.weights), 1.0 / 6.0, rtol=1e-13)
+
+    def test_points_inside(self):
+        quad = tetrahedron_quadrature(6)
+        x, y, z = quad.points.T
+        assert np.all(x > 0) and np.all(y > 0) and np.all(z > 0)
+        assert np.all(x + y + z < 1)
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_monomial_exactness(self, n):
+        quad = tetrahedron_quadrature(n)
+        for i in range(min(n, 4)):
+            for j in range(min(n - i, 4)):
+                for k in range(min(n - i - j, 4)):
+                    val = np.sum(
+                        quad.weights
+                        * quad.points[:, 0] ** i
+                        * quad.points[:, 1] ** j
+                        * quad.points[:, 2] ** k
+                    )
+                    np.testing.assert_allclose(val, _monomial_integral_tet(i, j, k), rtol=1e-11)
+
+    @given(n=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_weights_positive(self, n):
+        quad = tetrahedron_quadrature(n)
+        assert np.all(quad.weights > 0)
+
+    def test_caching_returns_same_object(self):
+        assert tetrahedron_quadrature(3) is tetrahedron_quadrature(3)

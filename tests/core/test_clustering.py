@@ -1,0 +1,154 @@
+"""Unit tests for the LTS clustering, lambda optimisation and speedup model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    assign_clusters,
+    derive_clustering,
+    normalize_clusters,
+    optimize_lambda,
+)
+from repro.core.speedup import (
+    ideal_speedup,
+    load_fractions,
+    normalization_loss,
+    theoretical_speedup,
+)
+
+
+class TestAssignClusters:
+    def test_paper_example_assignment(self):
+        """An element with time step 3 lambda dt_min belongs to C2 (index 1)."""
+        dts = np.array([1.0, 3.0, 10.0])
+        ids = assign_clusters(dts, n_clusters=3, lam=1.0)
+        np.testing.assert_array_equal(ids, [0, 1, 2])
+
+    def test_lambda_shifts_boundaries(self):
+        """The paper's lambda example: most elements in (3, 4) dt_min advance
+        with 3 dt_min for lambda = 0.75 instead of 2 dt_min for lambda = 1."""
+        dts = np.array([1.0] + [3.5] * 10)
+        ids_1 = assign_clusters(dts, n_clusters=4, lam=1.0)
+        ids_075 = assign_clusters(dts, n_clusters=4, lam=0.75)
+        # lambda = 1: 3.5 in [2, 4) -> cluster 1 (steps of 2.0)
+        assert np.all(ids_1[1:] == 1)
+        # lambda = 0.75: 3.5 / 0.75 = 4.67 in [4, 8) -> cluster 2 (steps of 3.0)
+        assert np.all(ids_075[1:] == 2)
+
+    def test_open_ended_last_cluster(self):
+        dts = np.array([1.0, 1000.0])
+        ids = assign_clusters(dts, n_clusters=3, lam=1.0)
+        assert ids[1] == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            assign_clusters(np.array([1.0]), 0, 1.0)
+        with pytest.raises(ValueError):
+            assign_clusters(np.array([1.0]), 3, 0.4)
+        with pytest.raises(ValueError):
+            assign_clusters(np.array([-1.0]), 3, 1.0)
+
+    @given(
+        lam=st.floats(min_value=0.51, max_value=1.0),
+        n_clusters=st.integers(min_value=1, max_value=6),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cluster_steps_respect_cfl(self, lam, n_clusters, seed):
+        """Every element's clustered time step never exceeds its CFL step."""
+        rng = np.random.default_rng(seed)
+        dts = rng.uniform(1.0, 20.0, size=50)
+        clustering = derive_clustering(dts, n_clusters, lam)
+        assert np.all(clustering.element_time_steps() <= dts + 1e-12)
+
+
+class TestNormalization:
+    def test_chain_is_limited_to_one_level(self):
+        # three elements in a chain with clusters 0 - 2 - 2: the middle one
+        # must come down to 1
+        ids = np.array([0, 2, 2])
+        neighbors = np.array([[1, -1, -1, -1], [0, 2, -1, -1], [1, -1, -1, -1]])
+        normalized = normalize_clusters(ids, neighbors)
+        np.testing.assert_array_equal(normalized, [0, 1, 2])
+
+    def test_cascading_normalization(self):
+        # 0 - 3 - 3 - 3 chain: must become 0 - 1 - 2 - 3
+        ids = np.array([0, 3, 3, 3])
+        neighbors = np.array(
+            [[1, -1, -1, -1], [0, 2, -1, -1], [1, 3, -1, -1], [2, -1, -1, -1]]
+        )
+        np.testing.assert_array_equal(normalize_clusters(ids, neighbors), [0, 1, 2, 3])
+
+    def test_no_change_when_already_normalized(self):
+        ids = np.array([1, 1, 2])
+        neighbors = np.array([[1, -1, -1, -1], [0, 2, -1, -1], [1, -1, -1, -1]])
+        np.testing.assert_array_equal(normalize_clusters(ids, neighbors), ids)
+
+    def test_normalization_loss_is_small_for_realistic_distribution(self):
+        """The paper reports < 1.5 % loss; verify on a graded mesh."""
+        from repro.mesh.generation import layered_box_mesh
+        from repro.mesh.geometry import cfl_time_steps
+
+        mesh = layered_box_mesh(
+            extent=(0, 8000, 0, 8000, -8000, 0),
+            edge_length_of_depth=lambda z: 500.0 if z > -1000.0 else 1000.0,
+            horizontal_edge_length=1000.0,
+            jitter=0.2,
+        )
+        vp = np.where(mesh.centroids[:, 2] > -1000.0, 4000.0, 6000.0)
+        dts = cfl_time_steps(mesh.insphere_radii, vp, order=5)
+        raw = assign_clusters(dts, 3, 1.0)
+        normalized = normalize_clusters(raw, mesh.neighbors)
+        cluster_dts = dts.min() * 2.0 ** np.arange(3)
+        loss = abs(normalization_loss(raw, normalized, cluster_dts))
+        assert loss < 0.05
+
+
+class TestSpeedupModel:
+    def test_single_cluster_has_no_speedup(self):
+        dts = np.ones(10)
+        clustering = derive_clustering(dts, 1, 1.0)
+        assert clustering.speedup() == pytest.approx(1.0)
+
+    def test_two_cluster_speedup(self):
+        # half the elements can take double steps -> cost 0.5*(1 + 0.5) = 0.75 -> 1.33x
+        dts = np.array([1.0] * 50 + [2.0] * 50)
+        clustering = derive_clustering(dts, 2, 1.0)
+        assert clustering.speedup() == pytest.approx(1.0 / 0.75)
+
+    def test_speedup_bounded_by_ideal(self):
+        rng = np.random.default_rng(0)
+        dts = rng.uniform(1.0, 30.0, size=500)
+        clustering = derive_clustering(dts, 5, 1.0)
+        assert 1.0 <= clustering.speedup() <= ideal_speedup(dts) + 1e-12
+
+    def test_load_fractions_sum_to_one(self):
+        dts = np.array([1.0, 2.0, 2.0, 4.0, 8.0])
+        clustering = derive_clustering(dts, 4, 1.0)
+        np.testing.assert_allclose(clustering.load_fractions().sum(), 1.0)
+        assert clustering.counts.sum() == 5
+
+
+class TestLambdaOptimization:
+    def test_lambda_tuning_beats_lambda_one_for_clustered_distribution(self):
+        """Distribution concentrated just below a power of two: tuning lambda
+        improves the theoretical speedup, as in Fig. 4 (17.5 % improvement)."""
+        rng = np.random.default_rng(1)
+        dts = np.concatenate([np.array([1.0]), rng.uniform(3.0, 3.9, size=2000)])
+        best = optimize_lambda(dts, 3)
+        fixed = derive_clustering(dts, 3, 1.0)
+        assert best.speedup() > 1.1 * fixed.speedup()
+        assert best.lam < 1.0
+
+    def test_lambda_never_hurts(self):
+        rng = np.random.default_rng(2)
+        dts = rng.uniform(1.0, 10.0, size=300)
+        best = optimize_lambda(dts, 4)
+        fixed = derive_clustering(dts, 4, 1.0)
+        assert best.speedup() >= fixed.speedup() - 1e-12
+
+    def test_invalid_increment(self):
+        with pytest.raises(ValueError):
+            optimize_lambda(np.ones(3), 2, increment=0.0)

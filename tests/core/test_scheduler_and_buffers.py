@@ -1,0 +1,125 @@
+"""Unit tests for the LTS schedule and the B1/B2/B3 buffer algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import LARGER, SAME, SMALLER, LtsBuffers
+from repro.core.lts_scheduler import (
+    clusters_correcting_after,
+    clusters_predicting_at,
+    micro_steps_per_cycle,
+    schedule_cycle,
+    updates_per_cycle,
+)
+from repro.core.legacy_lts import communication_volumes
+from repro.kernels.ader import compute_time_derivatives, time_integrate
+
+
+class TestScheduler:
+    def test_micro_steps(self):
+        assert micro_steps_per_cycle(1) == 1
+        assert micro_steps_per_cycle(3) == 4
+        assert micro_steps_per_cycle(5) == 16
+        with pytest.raises(ValueError):
+            micro_steps_per_cycle(0)
+
+    def test_three_cluster_schedule_matches_figure_6(self):
+        """Two clusters of Fig. 6 (steps dt, 2dt, 4dt): predictions at the
+        start, k1 (cluster 0) corrects every micro step, k (cluster 1) every
+        second, k4 (cluster 2) at the end of the cycle."""
+        schedule = schedule_cycle(3)
+        assert [e["predict"] for e in schedule] == [[0, 1, 2], [0], [0, 1], [0]]
+        assert [e["correct"] for e in schedule] == [[0], [0, 1], [0], [0, 1, 2]]
+
+    def test_every_cluster_predicts_exactly_as_often_as_it_corrects(self):
+        for n_clusters in (1, 2, 4):
+            schedule = schedule_cycle(n_clusters)
+            for l in range(n_clusters):
+                predicts = sum(l in e["predict"] for e in schedule)
+                corrects = sum(l in e["correct"] for e in schedule)
+                assert predicts == corrects == 2 ** (n_clusters - 1 - l)
+
+    def test_updates_per_cycle(self):
+        counts = np.array([100, 50, 10])
+        # cluster 0 updates 4x, cluster 1 2x, cluster 2 1x
+        assert updates_per_cycle(counts) == 100 * 4 + 50 * 2 + 10
+
+    def test_prediction_and_correction_queries(self):
+        assert clusters_predicting_at(0, 4) == [0, 1, 2, 3]
+        assert clusters_predicting_at(2, 4) == [0, 1]
+        assert clusters_correcting_after(3, 4) == [0, 1, 2]
+        assert clusters_correcting_after(7, 4) == [0, 1, 2, 3]
+
+
+class TestBufferAlgebra:
+    def test_buffers_follow_eq_17(self, elastic_disc):
+        """B1/B2 are the full/half interval integrals, B3 accumulates pairs."""
+        disc = elastic_disc
+        rng = np.random.default_rng(0)
+        dofs = rng.normal(size=disc.allocate_dofs().shape)
+        buffers = LtsBuffers(disc)
+        elements = np.arange(disc.n_elements)
+        dt = 0.01
+
+        derivatives = compute_time_derivatives(disc, dofs, elements)
+        elastic = [d[:, :9] for d in derivatives]
+        buffers.fill(elements, derivatives, dt, step_index=0)
+        np.testing.assert_allclose(buffers.b1[elements], time_integrate(elastic, 0, dt))
+        np.testing.assert_allclose(buffers.b2[elements], time_integrate(elastic, 0, dt / 2))
+        np.testing.assert_allclose(buffers.b3[elements], time_integrate(elastic, 0, dt))
+
+        # second (odd) step: B3 accumulates, B1/B2 are overwritten
+        dofs2 = rng.normal(size=dofs.shape)
+        derivatives2 = compute_time_derivatives(disc, dofs2, elements)
+        elastic2 = [d[:, :9] for d in derivatives2]
+        buffers.fill(elements, derivatives2, dt, step_index=1)
+        np.testing.assert_allclose(buffers.b1[elements], time_integrate(elastic2, 0, dt))
+        np.testing.assert_allclose(
+            buffers.b3[elements],
+            time_integrate(elastic, 0, dt) + time_integrate(elastic2, 0, dt),
+        )
+
+    def test_neighbor_data_selection(self, elastic_disc):
+        """The neighbour gather must pick B1 / B3 / B2 / B1-B2 by relation and parity."""
+        disc = elastic_disc
+        buffers = LtsBuffers(disc)
+        rng = np.random.default_rng(1)
+        buffers.b1[:] = rng.normal(size=buffers.b1.shape)
+        buffers.b2[:] = rng.normal(size=buffers.b2.shape)
+        buffers.b3[:] = rng.normal(size=buffers.b3.shape)
+
+        elements = np.array([0])
+        neighbors = np.array([[1, 2, 3, -1]])
+        relations = np.array([[SAME, SMALLER, LARGER, -2]])
+
+        even = buffers.neighbor_data(elements, neighbors, relations, step_index=0)
+        np.testing.assert_array_equal(even[0, 0], buffers.b1[1])
+        np.testing.assert_array_equal(even[0, 1], buffers.b3[2])
+        np.testing.assert_array_equal(even[0, 2], buffers.b2[3])
+        np.testing.assert_array_equal(even[0, 3], 0.0)
+
+        odd = buffers.neighbor_data(elements, neighbors, relations, step_index=1)
+        np.testing.assert_array_equal(odd[0, 2], buffers.b1[3] - buffers.b2[3])
+
+
+class TestCommunicationVolumes:
+    def test_paper_numbers_for_order_five(self):
+        """Sec. V: five elastic derivatives need 5*9*35 = 1,575 values; the
+        buffer needs 9*35 = 315 and the face-local message 9*15 = 135."""
+        volumes = communication_volumes(order=5, n_mechanisms=3)
+        assert volumes.derivative_scheme_anelastic == 1575
+        assert volumes.buffer_scheme == 315
+        assert volumes.face_local_mpi == 135
+        # elastic zero-block exploitation: 9 * (35 + 20 + 10 + 4 + 1) = 630
+        assert volumes.derivative_scheme_elastic == 630
+
+    def test_reductions(self):
+        volumes = communication_volumes(order=5)
+        assert volumes.reduction_vs_derivatives() == pytest.approx(5.0)
+        assert volumes.reduction_face_local() == pytest.approx(35.0 / 15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            communication_volumes(0)
+        with pytest.raises(ValueError):
+            communication_volumes(4, -1)

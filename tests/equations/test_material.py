@@ -1,0 +1,76 @@
+"""Unit tests for material models."""
+
+import numpy as np
+import pytest
+
+from repro.equations.material import ElasticMaterial, MaterialTable, ViscoelasticMaterial
+
+
+class TestElasticMaterial:
+    def test_lame_parameters(self):
+        mat = ElasticMaterial(rho=2700.0, vp=6000.0, vs=3464.0)
+        np.testing.assert_allclose(mat.mu, 2700.0 * 3464.0**2)
+        np.testing.assert_allclose(mat.lam, 2700.0 * (6000.0**2 - 2 * 3464.0**2))
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ElasticMaterial(rho=-1.0, vp=6000.0, vs=3464.0)
+        with pytest.raises(ValueError):
+            ElasticMaterial(rho=2700.0, vp=2000.0, vs=3464.0)
+
+    def test_viscoelastic_quality_factors(self):
+        mat = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        assert mat.qp == 120.0 and mat.qs == 40.0
+        with pytest.raises(ValueError):
+            ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=-1.0, qs=40.0)
+
+
+class TestMaterialTable:
+    def test_homogeneous_table(self):
+        mat = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        table = MaterialTable.homogeneous(mat, 10)
+        assert table.n_elements == 10
+        np.testing.assert_allclose(table.vp, 4000.0)
+        np.testing.assert_allclose(table.qs, 40.0)
+        assert table.is_attenuating()
+
+    def test_elastic_table_is_not_attenuating(self):
+        mat = ElasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0)
+        table = MaterialTable.homogeneous(mat, 5)
+        assert not table.is_attenuating()
+
+    def test_lame_arrays(self):
+        table = MaterialTable(
+            rho=np.array([2600.0, 2700.0]),
+            vp=np.array([4000.0, 6000.0]),
+            vs=np.array([2000.0, 3464.0]),
+        )
+        np.testing.assert_allclose(table.mu, table.rho * table.vs**2)
+        np.testing.assert_allclose(table.lam, table.rho * (table.vp**2 - 2 * table.vs**2))
+        np.testing.assert_allclose(table.max_wave_speed, table.vp)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaterialTable(rho=np.array([1.0]), vp=np.array([1.0, 2.0]), vs=np.array([0.5]))
+        with pytest.raises(ValueError):
+            MaterialTable(rho=np.array([2600.0]), vp=np.array([2000.0]), vs=np.array([3000.0]))
+        with pytest.raises(ValueError):
+            MaterialTable(
+                rho=np.array([2600.0]),
+                vp=np.array([4000.0]),
+                vs=np.array([2000.0]),
+                qp=np.array([0.0]),
+                qs=np.array([40.0]),
+            )
+
+    def test_subset(self):
+        table = MaterialTable(
+            rho=np.array([2600.0, 2700.0, 2800.0]),
+            vp=np.array([4000.0, 6000.0, 6500.0]),
+            vs=np.array([2000.0, 3464.0, 3700.0]),
+            qp=np.array([120.0, 155.9, 200.0]),
+            qs=np.array([40.0, 69.3, 100.0]),
+        )
+        sub = table.subset(np.array([2, 0]))
+        np.testing.assert_allclose(sub.vp, [6500.0, 4000.0])
+        np.testing.assert_allclose(sub.qs, [100.0, 40.0])

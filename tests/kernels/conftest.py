@@ -1,0 +1,33 @@
+"""Shared fixtures for kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.equations.material import ElasticMaterial, MaterialTable, ViscoelasticMaterial
+from repro.kernels.discretization import Discretization
+from repro.mesh.generation import box_mesh
+
+
+def small_mesh(n=2, jitter=0.0, seed=0, length=2000.0):
+    coords = np.linspace(0.0, length, n + 1)
+    return box_mesh(coords, coords, coords, jitter=jitter, seed=seed, free_surface_top=False)
+
+
+@pytest.fixture(scope="module")
+def elastic_disc():
+    """A small purely elastic discretization (order 3)."""
+    mesh = small_mesh(n=2, jitter=0.1)
+    material = ElasticMaterial(rho=2700.0, vp=6000.0, vs=3464.0)
+    table = MaterialTable.homogeneous(material, mesh.n_elements)
+    return Discretization(mesh, table, order=3, n_mechanisms=0, flux="rusanov")
+
+
+@pytest.fixture(scope="module")
+def viscoelastic_disc():
+    """A small viscoelastic discretization (order 3, three mechanisms)."""
+    mesh = small_mesh(n=2, jitter=0.1)
+    material = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+    table = MaterialTable.homogeneous(material, mesh.n_elements)
+    return Discretization(
+        mesh, table, order=3, n_mechanisms=3, frequency_band=(0.1, 10.0), flux="rusanov"
+    )

@@ -1,0 +1,148 @@
+"""Unit tests for the per-mesh discretization setup."""
+
+import numpy as np
+import pytest
+
+from repro.equations.material import ElasticMaterial, MaterialTable
+from repro.kernels.discretization import Discretization
+from repro.mesh.generation import box_mesh
+
+from .conftest import small_mesh
+
+
+class TestShapesAndValidation:
+    def test_basic_shapes(self, viscoelastic_disc):
+        disc = viscoelastic_disc
+        K = disc.n_elements
+        assert disc.n_vars == 27  # 9 elastic + 3 mechanisms x 6
+        assert disc.star_elastic.shape == (K, 3, 9, 9)
+        assert disc.star_anelastic.shape == (K, 3, 6, 9)
+        assert disc.coupling.shape == (K, 3, 9, 6)
+        assert disc.flux_local_elastic.shape == (K, 4, 9, 9)
+        assert disc.flux_neigh_anelastic.shape == (K, 4, 6, 9)
+        assert disc.time_steps.shape == (K,)
+        assert np.all(disc.time_steps > 0)
+
+    def test_elastic_only_has_nine_variables(self, elastic_disc):
+        assert elastic_disc.n_vars == 9
+        assert elastic_disc.omegas.size == 0
+
+    def test_material_size_mismatch_raises(self):
+        mesh = small_mesh(n=2)
+        table = MaterialTable.homogeneous(ElasticMaterial(2700.0, 6000.0, 3464.0), 3)
+        with pytest.raises(ValueError):
+            Discretization(mesh, table, order=3)
+
+    def test_invalid_flux_raises(self):
+        mesh = small_mesh(n=2)
+        table = MaterialTable.homogeneous(ElasticMaterial(2700.0, 6000.0, 3464.0), mesh.n_elements)
+        with pytest.raises(ValueError):
+            Discretization(mesh, table, order=3, flux="roe")
+
+
+class TestNeighborFluxMatrices:
+    def test_unique_count_is_small(self, elastic_disc):
+        """The per-face neighbour projection matrices must deduplicate into the
+        small unique set (the paper's 12 F_bar matrices under EDGE's canonical
+        ordering; at most 24 for arbitrary orderings)."""
+        assert 1 <= elastic_disc.n_unique_neighbor_matrices <= 24
+
+    def test_index_assignment(self, elastic_disc):
+        idx = elastic_disc.neighbor_flux_index
+        interior = elastic_disc.mesh.neighbors >= 0
+        assert np.all(idx[interior] >= 0)
+        assert np.all(idx[~interior] == -1)
+
+    def test_neighbor_projection_reproduces_trace(self, elastic_disc):
+        """Projecting a neighbour's polynomial through F_bar must equal the
+        pointwise trace of that polynomial on the shared face."""
+        disc = elastic_disc
+        mesh = disc.mesh
+        ref = disc.ref
+        rng = np.random.default_rng(0)
+        # pick an interior face
+        k, i = np.argwhere(mesh.neighbors >= 0)[0]
+        neighbor = mesh.neighbors[k, i]
+        coeffs = rng.normal(size=(1, ref.n_basis))
+
+        fbar = disc.neighbor_flux_matrices[disc.neighbor_flux_index[k, i]]
+        face_coeffs = coeffs @ fbar  # (1, F)
+        chi = ref.face_basis_at_quad
+        trace_from_projection = face_coeffs @ chi.T  # values at local face quad points
+
+        # direct evaluation: map local face quad points to physical space and
+        # into the neighbour's reference coordinates
+        from repro.mesh.geometry import map_physical_to_reference, map_reference_to_physical
+
+        phys = map_reference_to_physical(
+            mesh.vertices, mesh.elements, np.array([k]), ref.face_quad_points[i]
+        )[0]
+        xi_neigh = map_physical_to_reference(mesh.vertices, mesh.elements, neighbor, phys)
+        trace_direct = coeffs @ ref.basis.evaluate(xi_neigh).T
+        np.testing.assert_allclose(trace_from_projection, trace_direct, atol=1e-8)
+
+
+class TestFluxSolverScaling:
+    def test_flux_solver_includes_geometry_factor(self, elastic_disc):
+        """For equal traces, local + neighbour flux matrices must equal the
+        scaled normal Jacobian (consistency), including the -2|S|/|J| factor."""
+        disc = elastic_disc
+        mesh = disc.mesh
+        mat = disc.materials
+        from repro.equations.riemann import elastic_normal_jacobian
+
+        k, i = np.argwhere(mesh.neighbors >= 0)[0]
+        normal = mesh.geometry.face_normals[k, i]
+        an = elastic_normal_jacobian(mat.lam[k], mat.mu[k], mat.rho[k], normal)
+        scale = -2.0 * mesh.geometry.face_areas[k, i] / mesh.geometry.determinants[k]
+        combined = disc.flux_local_elastic[k, i] + disc.flux_neigh_elastic[k, i]
+        np.testing.assert_allclose(combined, scale * an, rtol=1e-9, atol=1e-6)
+
+
+class TestDofHelpers:
+    def test_allocate_and_views(self, viscoelastic_disc):
+        disc = viscoelastic_disc
+        dofs = disc.allocate_dofs()
+        assert dofs.shape == (disc.n_elements, 27, disc.n_basis)
+        fused = disc.allocate_dofs(n_fused=4)
+        assert fused.shape == (disc.n_elements, 27, disc.n_basis, 4)
+        assert disc.elastic_view(dofs).shape[1] == 9
+        assert disc.anelastic_view(dofs, 2).shape[1] == 6
+
+    def test_project_initial_condition_roundtrip(self, elastic_disc):
+        disc = elastic_disc
+
+        def ic(points):
+            out = np.zeros((len(points), 9))
+            out[:, 6] = np.sin(2 * np.pi * points[:, 0] / 2000.0)
+            out[:, 0] = points[:, 1] / 2000.0
+            return out
+
+        dofs = disc.project_initial_condition(ic)
+        # evaluate at element centroids and compare with the analytic field
+        centers = np.full((1, 3), 0.25)
+        values = disc.evaluate_at_points(dofs, np.arange(disc.n_elements), centers)
+        phys = disc.mesh.vertices[disc.mesh.elements][:, 0] + np.einsum(
+            "kdr,r->kd", disc.mesh.geometry.jacobians, centers[0]
+        )
+        expected_u = np.sin(2 * np.pi * phys[:, 0] / 2000.0)
+        np.testing.assert_allclose(values[:, 0, 6], expected_u, atol=0.05)
+
+    def test_project_initial_condition_elastic_padding(self, viscoelastic_disc):
+        disc = viscoelastic_disc
+
+        def ic(points):
+            return np.ones((len(points), 9))
+
+        dofs = disc.project_initial_condition(ic)
+        assert dofs.shape[1] == 27
+        np.testing.assert_allclose(dofs[:, 9:, :], 0.0)
+
+    def test_project_initial_condition_wrong_width_raises(self, viscoelastic_disc):
+        with pytest.raises(ValueError):
+            viscoelastic_disc.project_initial_condition(lambda p: np.ones((len(p), 5)))
+
+    def test_fused_initial_condition(self, elastic_disc):
+        dofs = elastic_disc.project_initial_condition(lambda p: np.ones((len(p), 9)), n_fused=3)
+        assert dofs.shape[-1] == 3
+        np.testing.assert_allclose(dofs[..., 0], dofs[..., 2])

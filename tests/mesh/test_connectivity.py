@@ -1,0 +1,79 @@
+"""Unit tests for face-neighbour connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.basis.reference_element import FACE_VERTEX_IDS
+from repro.mesh.connectivity import build_face_connectivity, element_face_vertices
+from repro.mesh.generation import box_mesh, two_tet_mesh
+
+
+class TestElementFaceVertices:
+    def test_single_element_faces(self):
+        elements = np.array([[10, 11, 12, 13]])
+        faces = element_face_vertices(elements)
+        assert faces.shape == (1, 4, 3)
+        for i, local in enumerate(FACE_VERTEX_IDS):
+            np.testing.assert_array_equal(faces[0, i], [10 + l for l in local])
+
+
+class TestBuildFaceConnectivity:
+    def test_two_tets_share_exactly_one_face(self):
+        mesh = two_tet_mesh()
+        neighbors, neighbor_faces = build_face_connectivity(mesh.elements)
+        # element 0 and 1 share the face {1, 2, 3}
+        assert np.sum(neighbors[0] == 1) == 1
+        assert np.sum(neighbors[1] == 0) == 1
+        shared_face_0 = int(np.where(neighbors[0] == 1)[0][0])
+        shared_face_1 = int(np.where(neighbors[1] == 0)[0][0])
+        assert neighbor_faces[0, shared_face_0] == shared_face_1
+        assert neighbor_faces[1, shared_face_1] == shared_face_0
+
+    def test_symmetry_on_box_mesh(self):
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(0, 1, 3))
+        neighbors = mesh.neighbors
+        neighbor_faces = mesh.neighbor_faces
+        for k in range(mesh.n_elements):
+            for f in range(4):
+                n = neighbors[k, f]
+                if n < 0:
+                    continue
+                nf = neighbor_faces[k, f]
+                assert neighbors[n, nf] == k
+                assert neighbor_faces[n, nf] == f
+
+    def test_shared_faces_have_identical_vertex_sets(self):
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(0, 1, 3))
+        faces = element_face_vertices(mesh.elements)
+        for k in range(mesh.n_elements):
+            for f in range(4):
+                n = mesh.neighbors[k, f]
+                if n < 0:
+                    continue
+                nf = mesh.neighbor_faces[k, f]
+                assert set(faces[k, f]) == set(faces[n, nf])
+
+    def test_interior_face_count_of_box(self):
+        # 2x2x2 cells -> 8 cubes -> 48 tets; total faces 48*4 = 192.
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(0, 1, 3))
+        n_boundary = int(np.sum(mesh.neighbors < 0))
+        n_interior_pairs = (mesh.n_elements * 4 - n_boundary) // 2
+        # Every cube face on the box surface contributes 2 boundary triangles.
+        assert n_boundary == 6 * 4 * 2
+        assert n_interior_pairs == (192 - 48) // 2
+
+    def test_non_manifold_raises(self):
+        # three tets sharing the same face {0,1,2}
+        vertices = np.array(
+            [
+                [0.0, 0.0, 0.0],
+                [1.0, 0.0, 0.0],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, -1.0],
+                [1.0, 1.0, 2.0],
+            ]
+        )
+        elements = np.array([[0, 1, 2, 3], [0, 1, 2, 4], [0, 1, 2, 5]])
+        with pytest.raises(ValueError, match="non-manifold"):
+            build_face_connectivity(elements)

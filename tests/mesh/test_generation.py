@@ -1,0 +1,134 @@
+"""Unit tests for mesh generation and refinement rules."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.generation import box_mesh, graded_axis, layered_box_mesh
+from repro.mesh.refinement import (
+    characteristic_lengths,
+    edge_length_profile_from_velocity,
+    elements_per_wavelength_rule,
+)
+from repro.mesh.tet_mesh import BOUNDARY_ABSORBING, BOUNDARY_FREE_SURFACE
+
+
+class TestBoxMesh:
+    def test_element_count(self):
+        mesh = box_mesh(np.linspace(0, 1, 4), np.linspace(0, 1, 3), np.linspace(0, 1, 5))
+        assert mesh.n_elements == 3 * 2 * 4 * 6
+
+    def test_invalid_axis_raises(self):
+        with pytest.raises(ValueError):
+            box_mesh([0.0, 0.0, 1.0], [0.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            box_mesh([0.0], [0.0, 1.0], [0.0, 1.0])
+
+    def test_free_surface_tags_on_top_only(self):
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(-1, 0, 3))
+        boundary = mesh.is_boundary_face
+        fs = mesh.boundary_tags == BOUNDARY_FREE_SURFACE
+        assert np.all(boundary[fs])
+        # every free-surface face centroid is on z = 0
+        centroids = mesh.geometry.face_centroids[fs]
+        np.testing.assert_allclose(centroids[:, 2], 0.0, atol=1e-12)
+        # and the other boundary faces are absorbing
+        other = boundary & ~fs
+        assert np.all(mesh.boundary_tags[other] == BOUNDARY_ABSORBING)
+
+    def test_jitter_keeps_mesh_valid_and_conforming(self):
+        mesh = box_mesh(
+            np.linspace(0, 1, 4), np.linspace(0, 1, 4), np.linspace(0, 1, 4), jitter=0.25, seed=3
+        )
+        assert np.all(mesh.geometry.determinants > 0)
+        # conformity: the neighbour relation is symmetric (checked inside property)
+        assert mesh.neighbors.shape == (mesh.n_elements, 4)
+        np.testing.assert_allclose(mesh.volumes.sum(), 1.0, rtol=1e-10)
+
+    def test_topography_shifts_top_surface(self):
+        def topo(x, y):
+            return 0.1 * np.sin(np.pi * x)
+
+        mesh = box_mesh(
+            np.linspace(0, 1, 5), np.linspace(0, 1, 3), np.linspace(-1, 0, 3), topography=topo
+        )
+        assert mesh.vertices[:, 2].max() > 0.05
+        # bottom stays flat
+        assert mesh.vertices[:, 2].min() == pytest.approx(-1.0)
+
+
+class TestGradedAxis:
+    def test_uniform_target(self):
+        coords = graded_axis(0.0, 10.0, lambda z: 1.0)
+        assert coords[0] == 0.0 and coords[-1] == 10.0
+        assert np.all(np.diff(coords) > 0)
+        np.testing.assert_allclose(np.diff(coords), 1.0, atol=0.5)
+
+    def test_fine_to_coarse(self):
+        coords = graded_axis(0.0, 10.0, lambda z: 0.2 if z < 2.0 else 1.0)
+        spacings = np.diff(coords)
+        fine = spacings[coords[:-1] < 1.8]
+        coarse = spacings[coords[:-1] > 2.5]
+        assert fine.mean() < 0.3
+        assert coarse.mean() > 0.8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            graded_axis(1.0, 0.0, lambda z: 0.1)
+        with pytest.raises(ValueError):
+            graded_axis(0.0, 1.0, lambda z: -1.0)
+        with pytest.raises(ValueError):
+            graded_axis(0.0, 1e9, lambda z: 1.0, max_cells=10)
+
+
+class TestLayeredBoxMesh:
+    def test_layer_refinement_produces_smaller_time_steps_in_layer(self):
+        mesh = layered_box_mesh(
+            extent=(0, 4000, 0, 4000, -4000, 0),
+            edge_length_of_depth=lambda z: 500.0 if z > -1000.0 else 1000.0,
+            horizontal_edge_length=1000.0,
+        )
+        centroid_z = mesh.centroids[:, 2]
+        layer = centroid_z > -1000.0
+        assert layer.any() and (~layer).any()
+        assert mesh.insphere_radii[layer].mean() < mesh.insphere_radii[~layer].mean()
+
+
+class TestRefinementRules:
+    def test_elements_per_wavelength_rule(self):
+        rule = elements_per_wavelength_rule(2000.0, max_frequency=2.0, elements_per_wavelength=2.0, order=5)
+        # wavelength 1000 m, 2 elements per wavelength, order factor 4 -> 2000 m
+        assert rule(0.0) == pytest.approx(2000.0)
+
+    def test_rule_with_velocity_function(self):
+        rule = elements_per_wavelength_rule(
+            lambda z: 2000.0 if z > -1000 else 3464.0,
+            max_frequency=2.0,
+            elements_per_wavelength=2.0,
+            order=5,
+        )
+        assert rule(-500.0) < rule(-2000.0)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            elements_per_wavelength_rule(2000.0, max_frequency=0.0, elements_per_wavelength=2.0, order=5)
+        with pytest.raises(ValueError):
+            elements_per_wavelength_rule(2000.0, max_frequency=1.0, elements_per_wavelength=2.0, order=1)
+        rule = elements_per_wavelength_rule(-5.0, max_frequency=1.0, elements_per_wavelength=2.0, order=4)
+        with pytest.raises(ValueError):
+            rule(0.0)
+
+    def test_profile_from_samples(self):
+        rule = edge_length_profile_from_velocity(
+            depths=np.array([-10000.0, -1000.0]),
+            shear_velocities=np.array([3464.0, 2000.0]),
+            max_frequency=5.0,
+            elements_per_wavelength=2.0,
+            order=4,
+        )
+        assert rule(-500.0) < rule(-5000.0)
+
+    def test_characteristic_lengths(self):
+        # a regular tetrahedron with edge a has volume a^3/(6 sqrt 2)
+        a = 2.0
+        vol = a**3 / (6.0 * np.sqrt(2.0))
+        np.testing.assert_allclose(characteristic_lengths(np.array([vol])), [a])

@@ -1,0 +1,120 @@
+"""Unit tests for element geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.generation import box_mesh, single_tet_mesh
+from repro.mesh.geometry import (
+    cfl_time_steps,
+    compute_geometry,
+    map_physical_to_reference,
+    map_reference_to_physical,
+)
+
+
+class TestReferenceLikeTet:
+    def test_volume_and_jacobian(self):
+        mesh = single_tet_mesh(scale=2.0)
+        geo = mesh.geometry
+        np.testing.assert_allclose(geo.volumes, [8.0 / 6.0])
+        np.testing.assert_allclose(geo.determinants, [8.0])
+        np.testing.assert_allclose(geo.jacobians[0], 2.0 * np.eye(3))
+
+    def test_face_normals_are_outward_unit(self):
+        mesh = single_tet_mesh()
+        geo = mesh.geometry
+        norms = np.linalg.norm(geo.face_normals[0], axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+        centroid = mesh.vertices[mesh.elements[0]].mean(axis=0)
+        for i in range(4):
+            outward = geo.face_centroids[0, i] - centroid
+            assert np.dot(outward, geo.face_normals[0, i]) > 0
+
+    def test_face_areas(self):
+        mesh = single_tet_mesh()
+        geo = mesh.geometry
+        np.testing.assert_allclose(sorted(geo.face_areas[0]), [0.5, 0.5, 0.5, np.sqrt(3) / 2])
+
+    def test_insphere_radius(self):
+        mesh = single_tet_mesh()
+        geo = mesh.geometry
+        expected = 3.0 * (1.0 / 6.0) / (1.5 + np.sqrt(3) / 2)
+        np.testing.assert_allclose(geo.insphere_radii, [expected])
+
+
+class TestBoxMeshGeometry:
+    def test_volumes_fill_the_box(self):
+        mesh = box_mesh(np.linspace(0, 2, 4), np.linspace(0, 1, 3), np.linspace(0, 1.5, 3))
+        np.testing.assert_allclose(mesh.volumes.sum(), 2.0 * 1.0 * 1.5, rtol=1e-12)
+
+    def test_orientation_always_positive(self):
+        mesh = box_mesh(np.linspace(0, 1, 4), np.linspace(0, 1, 4), np.linspace(0, 1, 4), jitter=0.2)
+        assert np.all(mesh.geometry.determinants > 0)
+
+    def test_negative_orientation_gets_fixed(self):
+        from repro.mesh.tet_mesh import TetMesh
+
+        vertices = np.array(
+            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+        )
+        # swap two vertices to flip orientation
+        mesh = TetMesh(vertices=vertices, elements=np.array([[0, 1, 3, 2]]))
+        assert mesh.geometry.determinants[0] > 0
+
+
+class TestCoordinateMaps:
+    def test_roundtrip(self):
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(0, 1, 3), jitter=0.1)
+        xi = np.array([[0.1, 0.2, 0.3], [0.25, 0.25, 0.25]])
+        phys = map_reference_to_physical(mesh.vertices, mesh.elements, np.array([5]), xi)
+        back = map_physical_to_reference(mesh.vertices, mesh.elements, 5, phys[0])
+        np.testing.assert_allclose(back, xi, atol=1e-12)
+
+    def test_vertices_map_to_corners(self):
+        mesh = single_tet_mesh(scale=3.0)
+        xi = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        phys = map_reference_to_physical(mesh.vertices, mesh.elements, np.array([0]), xi)
+        np.testing.assert_allclose(phys[0], mesh.vertices)
+
+
+class TestCflTimeSteps:
+    def test_scaling_with_mesh_size(self):
+        """Halving the element size must halve the CFL time step."""
+        coarse = single_tet_mesh(scale=1.0)
+        fine = single_tet_mesh(scale=0.5)
+        dt_coarse = cfl_time_steps(coarse.insphere_radii, np.array([1000.0]), order=4)
+        dt_fine = cfl_time_steps(fine.insphere_radii, np.array([1000.0]), order=4)
+        np.testing.assert_allclose(dt_fine, 0.5 * dt_coarse)
+
+    def test_faster_waves_reduce_time_step(self):
+        mesh = single_tet_mesh()
+        dt_slow = cfl_time_steps(mesh.insphere_radii, np.array([1000.0]), order=4)
+        dt_fast = cfl_time_steps(mesh.insphere_radii, np.array([4000.0]), order=4)
+        np.testing.assert_allclose(dt_fast * 4.0, dt_slow)
+
+    def test_invalid_inputs_raise(self):
+        mesh = single_tet_mesh()
+        with pytest.raises(ValueError):
+            cfl_time_steps(mesh.insphere_radii, np.array([-1.0]), order=4)
+        with pytest.raises(ValueError):
+            cfl_time_steps(mesh.insphere_radii, np.array([1.0]), order=0)
+
+    @given(scale=st.floats(min_value=0.1, max_value=10.0), order=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_positive(self, scale, order):
+        mesh = single_tet_mesh(scale=scale)
+        dt = cfl_time_steps(mesh.insphere_radii, np.array([2500.0]), order=order)
+        assert np.all(dt > 0)
+
+
+class TestDegenerateMesh:
+    def test_degenerate_element_raises(self):
+        vertices = np.array(
+            [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [2.0, 0.0, 0.0], [3.0, 0.0, 0.0]]
+        )
+        from repro.mesh.tet_mesh import TetMesh
+
+        with pytest.raises(ValueError):
+            TetMesh(vertices=vertices, elements=np.array([[0, 1, 2, 3]])).geometry

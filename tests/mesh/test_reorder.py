@@ -1,0 +1,92 @@
+"""Unit tests for mesh reordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.generation import box_mesh
+from repro.mesh.reorder import cluster_ranges, reorder_elements
+
+
+class TestReorderElements:
+    def test_sorted_by_partition_then_cluster(self):
+        partitions = np.array([1, 0, 1, 0, 0])
+        clusters = np.array([0, 2, 1, 0, 1])
+        result = reorder_elements(partitions, clusters)
+        new_partitions = partitions[result.permutation]
+        new_clusters = clusters[result.permutation]
+        assert np.all(np.diff(new_partitions) >= 0)
+        for p in np.unique(new_partitions):
+            mask = new_partitions == p
+            assert np.all(np.diff(new_clusters[mask]) >= 0)
+
+    def test_communication_role_groups_send_elements_last(self):
+        partitions = np.zeros(6, dtype=int)
+        clusters = np.zeros(6, dtype=int)
+        comm = np.array([0, 1, 0, 1, 0, 0])
+        result = reorder_elements(partitions, clusters, comm)
+        reordered_comm = comm[result.permutation]
+        assert np.all(np.diff(reordered_comm) >= 0)
+
+    def test_inverse_is_consistent(self):
+        partitions = np.array([2, 0, 1, 1, 2, 0])
+        clusters = np.array([0, 1, 0, 1, 1, 0])
+        result = reorder_elements(partitions, clusters)
+        np.testing.assert_array_equal(result.permutation[result.inverse], np.arange(6))
+        np.testing.assert_array_equal(result.inverse[result.permutation], np.arange(6))
+
+    def test_remap_element_ids_keeps_boundary_marker(self):
+        partitions = np.array([1, 0, 0])
+        clusters = np.array([0, 0, 0])
+        result = reorder_elements(partitions, clusters)
+        ids = np.array([0, -1, 2])
+        remapped = result.remap_element_ids(ids)
+        assert remapped[1] == -1
+        assert remapped[0] == result.inverse[0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            reorder_elements(np.zeros(3), np.zeros(4))
+
+    @given(n=st.integers(min_value=1, max_value=40), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_is_bijection(self, n, seed):
+        rng = np.random.default_rng(seed)
+        partitions = rng.integers(0, 4, size=n)
+        clusters = rng.integers(0, 3, size=n)
+        result = reorder_elements(partitions, clusters)
+        assert sorted(result.permutation.tolist()) == list(range(n))
+
+
+class TestPermutedMesh:
+    def test_permuted_mesh_preserves_geometry_multiset(self):
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(0, 1, 3))
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(mesh.n_elements)
+        permuted = mesh.permuted(perm)
+        np.testing.assert_allclose(
+            np.sort(permuted.volumes), np.sort(mesh.volumes), rtol=1e-12
+        )
+        np.testing.assert_allclose(permuted.volumes, mesh.volumes[perm], rtol=1e-12)
+
+    def test_invalid_permutation_raises(self):
+        mesh = box_mesh(np.linspace(0, 1, 3), np.linspace(0, 1, 3), np.linspace(0, 1, 3))
+        with pytest.raises(ValueError):
+            mesh.permuted(np.zeros(mesh.n_elements, dtype=int))
+
+
+class TestClusterRanges:
+    def test_ranges_cover_all_elements(self):
+        clusters = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2])
+        ranges = cluster_ranges(clusters, 3)
+        assert ranges == [(0, 3), (3, 5), (5, 9)]
+
+    def test_empty_cluster_gets_empty_range(self):
+        clusters = np.array([0, 0, 2, 2])
+        ranges = cluster_ranges(clusters, 3)
+        assert ranges[1] == (2, 2)
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            cluster_ranges(np.array([1, 0, 2]), 3)

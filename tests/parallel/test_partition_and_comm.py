@@ -1,0 +1,163 @@
+"""Unit tests for partitioning, communication accounting and the scaling model."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import derive_clustering
+from repro.mesh.generation import box_mesh
+from repro.parallel.communicator import SimulatedCommunicator
+from repro.parallel.exchange import build_halo, exchange_face_data, exchange_volumes_per_cycle
+from repro.parallel.machine_model import FRONTERA_NODE, strong_scaling_study
+from repro.parallel.partition import (
+    element_weights,
+    face_weights,
+    partition_dual_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    coords = np.linspace(0.0, 4000.0, 5)
+    return box_mesh(coords, coords, coords, jitter=0.1, free_surface_top=False)
+
+
+@pytest.fixture(scope="module")
+def clustering(mesh):
+    rng = np.random.default_rng(0)
+    dts = rng.uniform(1.0, 6.0, mesh.n_elements)
+    return derive_clustering(dts, 3, 1.0, mesh.neighbors)
+
+
+class TestWeights:
+    def test_element_weights_follow_update_frequency(self):
+        ids = np.array([0, 1, 2])
+        np.testing.assert_allclose(element_weights(ids, 3), [4.0, 2.0, 1.0])
+        with pytest.raises(ValueError):
+            element_weights(np.array([3]), 3)
+
+    def test_face_weights_use_faster_side(self, mesh, clustering):
+        weights = face_weights(clustering.cluster_ids, mesh.neighbors, 3, values_per_face=135)
+        assert weights.shape == mesh.neighbors.shape
+        assert np.all(weights[mesh.neighbors < 0] == 0.0)
+        interior = mesh.neighbors >= 0
+        assert np.all(weights[interior] >= 135)
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("n_parts", [2, 4, 8])
+    def test_weighted_balance(self, mesh, clustering, n_parts):
+        weights = element_weights(clustering.cluster_ids, clustering.n_clusters)
+        result = partition_dual_graph(mesh.neighbors, weights, n_parts)
+        assert result.partitions.min() == 0 and result.partitions.max() == n_parts - 1
+        assert result.load_imbalance() < 1.25
+        assert result.element_counts.sum() == mesh.n_elements
+
+    def test_unbalanced_element_counts_with_lts_weights(self, mesh):
+        """Partitions rich in large-time-step elements hold more elements --
+        the effect shown in Fig. 7."""
+        # half the mesh gets cluster 0, the other half cluster 2
+        ids = np.where(np.arange(mesh.n_elements) < mesh.n_elements // 2, 0, 2)
+        weights = element_weights(ids, 3)
+        result = partition_dual_graph(mesh.neighbors, weights, 4)
+        assert result.element_count_spread() > 1.5
+        assert result.load_imbalance() < 1.3
+
+    def test_single_partition(self, mesh):
+        result = partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 1)
+        assert np.all(result.partitions == 0)
+
+    def test_validation(self, mesh):
+        with pytest.raises(ValueError):
+            partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 0)
+        with pytest.raises(ValueError):
+            partition_dual_graph(mesh.neighbors, -np.ones(mesh.n_elements), 2)
+
+    def test_cut_edges_reported(self, mesh):
+        result = partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 2)
+        assert 0 < result.cut_edges(mesh.neighbors) < mesh.n_elements * 2
+
+
+class TestCommunicator:
+    def test_send_recv_and_accounting(self):
+        comm = SimulatedCommunicator(3)
+        payload = np.arange(10, dtype=np.float32)
+        comm.send(payload, src=0, dst=2, tag=7)
+        assert comm.pending(0, 2, 7) == 1
+        received = comm.recv(src=0, dst=2, tag=7)
+        np.testing.assert_array_equal(received, payload)
+        assert comm.stats.n_messages == 1
+        assert comm.stats.n_bytes == payload.nbytes
+        assert comm.all_delivered()
+
+    def test_missing_message_raises(self):
+        comm = SimulatedCommunicator(2)
+        with pytest.raises(RuntimeError):
+            comm.recv(src=0, dst=1)
+
+    def test_rank_validation(self):
+        comm = SimulatedCommunicator(2)
+        with pytest.raises(ValueError):
+            comm.send(np.zeros(1), src=0, dst=5)
+        with pytest.raises(ValueError):
+            SimulatedCommunicator(0)
+
+
+class TestHaloExchange:
+    def test_halo_faces_are_symmetric(self, mesh):
+        partitions = partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 2).partitions
+        halo = build_halo(mesh.neighbors, partitions)
+        assert len(halo) > 0
+        # each cut face appears once from each side
+        pairs = {(f.element, f.neighbor_element) for f in halo}
+        for f in halo:
+            assert (f.neighbor_element, f.element) in pairs
+
+    def test_face_local_compression_reduces_volume(self, mesh, clustering):
+        partitions = partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 2).partitions
+        halo = build_halo(mesh.neighbors, partitions)
+        full = exchange_volumes_per_cycle(
+            halo, clustering.cluster_ids, 3, order=5, face_local=False
+        )
+        compressed = exchange_volumes_per_cycle(
+            halo, clustering.cluster_ids, 3, order=5, face_local=True
+        )
+        assert compressed["total_bytes"] < full["total_bytes"]
+        np.testing.assert_allclose(
+            full["total_bytes"] / compressed["total_bytes"], 35.0 / 15.0
+        )
+
+    def test_exchange_face_data_roundtrip(self, mesh):
+        partitions = partition_dual_graph(mesh.neighbors, np.ones(mesh.n_elements), 2).partitions
+        halo = build_halo(mesh.neighbors, partitions)
+        comm = SimulatedCommunicator(2)
+        face_data = {(f.element, f.face): np.full(135, float(f.element)) for f in halo}
+        received = exchange_face_data(comm, halo, face_data)
+        assert len(received) > 0
+        assert comm.stats.n_messages == len(halo)
+        for (neighbor_element, _), payload in received.items():
+            assert payload.shape == (135,)
+
+
+class TestScalingModel:
+    def test_efficiency_profile(self, mesh, clustering):
+        weights = element_weights(clustering.cluster_ids, clustering.n_clusters)
+        points = strong_scaling_study(
+            weights,
+            mesh.neighbors,
+            clustering.cluster_ids,
+            clustering.n_clusters,
+            node_counts=[1, 2, 4, 8],
+            flops_per_element_update=5e5,
+            order=4,
+        )
+        assert len(points) == 4
+        assert points[0].parallel_efficiency == pytest.approx(1.0)
+        for point in points:
+            assert 0.0 < point.parallel_efficiency <= 1.3
+            assert point.total_time > 0
+        # strong scaling: total time decreases with node count
+        assert points[-1].total_time < points[0].total_time
+
+    def test_frontera_node_parameters(self):
+        assert FRONTERA_NODE.peak_flops == pytest.approx(4.84e12)
+        assert 0 < FRONTERA_NODE.sustained_fraction < 1
