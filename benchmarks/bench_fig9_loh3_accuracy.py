@@ -7,19 +7,19 @@ Regenerated content:
 * the LTS speedup over GTS (paper: 6.0x measured vs 6.3x theoretical, i.e.
   ~95 % of the algorithmic efficiency is realised), and
 * the "cost of anelasticity" (paper: ~1.8x for three relaxation mechanisms).
+
+Both time-stepping configurations run through the scenario runner on the
+same spec-built setup, differing only in the solver kind.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
-from repro.core.gts_solver import GlobalTimeSteppingSolver
-from repro.core.lts_solver import ClusteredLtsSolver
+from repro.scenarios import ScenarioRunner, build_setup, measure_update_cost
+from repro.scenarios.registry import loh3_scenario
 from repro.source.misfit import seismogram_misfit
-from repro.source.receivers import ReceiverSet, resample_seismogram
-from repro.workloads.loh3 import loh3_setup
+from repro.source.receivers import resample_seismogram
 
 from conftest import record_result
 
@@ -27,38 +27,30 @@ from conftest import record_result
 def test_fig9_lts_accuracy_and_anelastic_cost(benchmark, loh3_small_elastic):
     # a faster source so that the direct wave reaches the station analogue
     # within an affordable simulated time window
-    setup = loh3_setup(
+    spec = loh3_scenario(
         extent_m=8000.0, characteristic_length=2000.0, order=4, n_mechanisms=3,
         jitter=0.2, source_frequency=4.0,
     )
+    setup = build_setup(spec)
     clustering = setup.clustering(n_clusters=3, lam=None)
     # the epicentre station sits ~2 km above the source: direct P arrives ~0.65 s
     t_end = max(0.9, 3.0 * clustering.cluster_time_steps[-1])
 
-    receivers_gts = ReceiverSet(setup.disc, setup.receiver_locations)
-    gts = GlobalTimeSteppingSolver(
-        setup.disc,
-        dt=clustering.cluster_time_steps[0],
-        sources=[setup.source],
-        receivers=receivers_gts,
+    gts = ScenarioRunner(
+        spec.with_overrides(solver="gts", t_end=t_end), setup=setup, clustering=clustering
     )
-    start = time.perf_counter()
-    gts.run(t_end)
-    time_gts = time.perf_counter() - start
+    summary_gts = gts.run()
 
-    receivers_lts = ReceiverSet(setup.disc, setup.receiver_locations)
-    lts = ClusteredLtsSolver(
-        setup.disc, clustering, sources=[setup.source], receivers=receivers_lts
-    )
+    lts = ScenarioRunner(spec.with_overrides(t_end=t_end), setup=setup, clustering=clustering)
 
     def run_lts():
-        lts.run(t_end)
+        lts.run()
 
     benchmark.pedantic(run_lts, rounds=1, iterations=1)
 
     # misfit E of the LTS vs the GTS solution at the receiver analogue
-    t_g, v_g = receivers_gts["epicentre"].seismogram()
-    t_l, v_l = receivers_lts["epicentre"].seismogram()
+    t_g, v_g = gts.receivers["epicentre"].seismogram()
+    t_l, v_l = lts.receivers["epicentre"].seismogram()
     common = np.linspace(0.0, min(t_g[-1], t_l[-1]), 200)
     ref = resample_seismogram(t_g, v_g, common)
     sol = resample_seismogram(t_l, v_l, common)
@@ -67,28 +59,21 @@ def test_fig9_lts_accuracy_and_anelastic_cost(benchmark, loh3_small_elastic):
     assert np.max(np.abs(ref)) > 0.0, "the source signal must reach the station"
 
     # cost of anelasticity: per-element-update wall time, viscoelastic vs elastic
-    elastic = loh3_small_elastic
-    gts_e = GlobalTimeSteppingSolver(elastic.disc)
-    start = time.perf_counter()
-    gts_e.run(10 * float(elastic.disc.time_steps.min()))
-    time_elastic = time.perf_counter() - start
-    per_update_elastic = time_elastic / gts_e.n_element_updates
-
-    gts_v = GlobalTimeSteppingSolver(setup.disc)
-    start = time.perf_counter()
-    gts_v.run(10 * float(setup.disc.time_steps.min()))
-    time_visco = time.perf_counter() - start
-    per_update_visco = time_visco / gts_v.n_element_updates
+    per_update_elastic = measure_update_cost(loh3_small_elastic)
+    per_update_visco = measure_update_cost(setup)
     anelastic_cost = per_update_visco / per_update_elastic
 
     result = {
         "n_elements": setup.mesh.n_elements,
         "misfit_E_lts_vs_gts": misfit,
-        "update_ratio_gts_over_lts": gts.n_element_updates / lts.n_element_updates,
+        "update_ratio_gts_over_lts": summary_gts["element_updates"]
+        / lts.solver.n_element_updates,
         "theoretical_speedup": clustering.speedup(),
         # the GTS reference here advances at lambda * dt_min (the same base step
         # as cluster 0), so the expected update ratio is speedup / lambda
-        "fraction_of_theoretical": (gts.n_element_updates / lts.n_element_updates)
+        "fraction_of_theoretical": (
+            summary_gts["element_updates"] / lts.solver.n_element_updates
+        )
         / (clustering.speedup() / clustering.lam),
         "anelastic_cost_factor": anelastic_cost,
         "paper": {

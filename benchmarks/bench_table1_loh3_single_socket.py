@@ -7,57 +7,51 @@ simulation GTS configuration: LTS(1.0) 2.14x, LTS(0.8) 2.51x, fused GTS
 NumPy kernels is orders of magnitude below LIBXSMM, but the *relative*
 ordering and the agreement between measured and theoretical (algorithmic)
 speedups is what this benchmark regenerates on a scaled LOH.3 mesh.
+
+All configurations are driven through the scenario runner, which supplies
+the wall-clock and element-update accounting.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
 import pytest
 
-from repro.core.gts_solver import GlobalTimeSteppingSolver
-from repro.core.lts_solver import ClusteredLtsSolver
+from repro.scenarios import ScenarioRunner
 
 from conftest import record_result
+
 
 N_FUSED = 4  # scaled-down ensemble width (the paper fuses 16 on AVX-512)
 
 
-def _run_gts(setup, t_end, n_fused=0):
-    solver = GlobalTimeSteppingSolver(setup.disc, n_fused=n_fused)
-    start = time.perf_counter()
-    solver.run(t_end)
-    elapsed = time.perf_counter() - start
-    return elapsed, solver.n_element_updates
-
-
-def _run_lts(setup, clustering, t_end, n_fused=0):
-    solver = ClusteredLtsSolver(setup.disc, clustering, n_fused=n_fused)
-    start = time.perf_counter()
-    solver.run(t_end)
-    elapsed = time.perf_counter() - start
-    return elapsed, solver.n_element_updates
+def _timed_run(setup, clustering, t_end, solver="lts", n_fused=0):
+    """Run one configuration through the runner; returns (wall_s, updates)."""
+    spec = setup.spec.with_overrides(solver=solver, n_fused=n_fused, t_end=t_end)
+    runner = ScenarioRunner(spec, setup=setup, clustering=clustering)
+    summary = runner.run()
+    return summary["wall_s"], summary["element_updates"]
 
 
 def test_table1_time_to_solution_speedups(benchmark, loh3_small):
     setup = loh3_small
     clustering_1 = setup.clustering(n_clusters=3, lam=1.0)
     clustering_opt = setup.clustering(n_clusters=3, lam=None)
+    # the GTS baseline advances every element at the mesh's dt_min
+    clustering_gts = setup.clustering(n_clusters=1, lam=1.0)
     t_end = 2.0 * clustering_1.cluster_time_steps[-1]
 
     # measured wall-clock times
     results = {}
-    time_gts, updates_gts = _run_gts(setup, t_end)
+    time_gts, updates_gts = _timed_run(setup, clustering_gts, t_end, solver="gts")
     results["gts_single"] = {"time_s": time_gts, "element_updates": updates_gts, "speedup": 1.0}
 
     def timed_lts():
-        return _run_lts(setup, clustering_opt, t_end)
+        return _timed_run(setup, clustering_opt, t_end)
 
     time_lts_opt, updates_lts_opt = benchmark.pedantic(timed_lts, rounds=1, iterations=1)
-    time_lts_1, updates_lts_1 = _run_lts(setup, clustering_1, t_end)
-    time_gts_fused, _ = _run_gts(setup, t_end, n_fused=N_FUSED)
-    time_lts_fused, _ = _run_lts(setup, clustering_opt, t_end, n_fused=N_FUSED)
+    time_lts_1, updates_lts_1 = _timed_run(setup, clustering_1, t_end)
+    time_gts_fused, _ = _timed_run(setup, clustering_gts, t_end, solver="gts", n_fused=N_FUSED)
+    time_lts_fused, _ = _timed_run(setup, clustering_opt, t_end, n_fused=N_FUSED)
 
     results["lts_lambda_1.0"] = {
         "time_s": time_lts_1,

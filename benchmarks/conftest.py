@@ -14,7 +14,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.workloads.loh3 import loh3_setup
+from repro.scenarios import build_setup
+from repro.scenarios.registry import loh3_scenario
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -41,19 +42,23 @@ def record_result(name: str, payload: dict) -> None:
 
 @pytest.fixture(scope="session")
 def loh3_small():
-    """A small LOH.3 configuration shared by the performance benchmarks."""
-    return loh3_setup(
-        extent_m=8000.0, characteristic_length=2000.0, order=4, n_mechanisms=3, jitter=0.2
+    """A small LOH.3 scenario setup shared by the performance benchmarks."""
+    return build_setup(
+        loh3_scenario(
+            extent_m=8000.0, characteristic_length=2000.0, order=4, n_mechanisms=3, jitter=0.2
+        )
     )
 
 
 @pytest.fixture(scope="session")
 def loh3_small_elastic():
     """The purely elastic counterpart (for the cost-of-anelasticity comparison)."""
-    return loh3_setup(
-        extent_m=8000.0,
-        characteristic_length=2000.0,
-        order=4,
-        anelastic=False,
-        jitter=0.2,
+    return build_setup(
+        loh3_scenario(
+            extent_m=8000.0,
+            characteristic_length=2000.0,
+            order=4,
+            anelastic=False,
+            jitter=0.2,
+        )
     )

@@ -1,44 +1,36 @@
 #!/usr/bin/env python
 """LOH.3 accuracy study (the laptop-scale analogue of Fig. 9 / Tab. I).
 
-Runs the scaled LOH.3 benchmark with global time stepping and with the
-next-generation clustered LTS (lambda = 1.0 and the optimised lambda),
-compares the seismograms at the receiver-9 analogue, and reports the
-measured and theoretical speedups plus the cost of anelasticity.
+Runs the scaled LOH.3 scenario with global time stepping and with the
+next-generation clustered LTS (lambda = 1.0 and the optimised lambda) through
+the scenario runner, compares the seismograms at the receiver-9 analogue, and
+reports the measured and theoretical speedups plus the cost of anelasticity.
 
 Run:  python examples/loh3_accuracy.py
 """
 
-import time
-
 import numpy as np
 
-from repro.core import ClusteredLtsSolver, GlobalTimeSteppingSolver
-from repro.source import ReceiverSet, seismogram_misfit
+from repro.scenarios import ScenarioRunner, build_setup, get_scenario, measure_update_cost
+from repro.source import seismogram_misfit
 from repro.source.receivers import resample_seismogram
-from repro.workloads import loh3_setup
+
+N_CYCLES = 10  # 10 macro cycles = 40 steps of cluster 0
 
 
-def run_config(setup, clustering=None, label=""):
-    receivers = ReceiverSet(setup.disc, setup.receiver_locations)
-    if clustering is None:
-        solver = GlobalTimeSteppingSolver(setup.disc, sources=[setup.source], receivers=receivers)
-        t_end = 40 * solver.dt
-    else:
-        solver = ClusteredLtsSolver(
-            setup.disc, clustering, sources=[setup.source], receivers=receivers
-        )
-        t_end = 40 * clustering.cluster_time_steps[0]
-    start = time.perf_counter()
-    solver.run(t_end)
-    elapsed = time.perf_counter() - start
-    print(f"  {label:<22s} wall {elapsed:8.2f} s   element updates {solver.n_element_updates:>9d}")
-    return solver, receivers, elapsed
+def run_config(setup, clustering, solver, label):
+    spec = setup.spec.with_overrides(solver=solver, n_cycles=N_CYCLES)
+    runner = ScenarioRunner(spec, setup=setup, clustering=clustering)
+    summary = runner.run()
+    print(f"  {label:<22s} wall {summary['wall_s']:8.2f} s   "
+          f"element updates {summary['element_updates']:>9d}")
+    return runner, summary
 
 
 def main() -> None:
     print("=== LOH.3 accuracy & algorithmic efficiency (scaled) ===\n")
-    setup = loh3_setup(extent_m=8000.0, characteristic_length=2000.0, order=4)
+    spec = get_scenario("loh3", extent_m=8000.0, characteristic_length=2000.0, order=4)
+    setup = build_setup(spec)
     print(f"mesh: {setup.mesh.n_elements} tetrahedra (paper: 743,066), order 4, 3 mechanisms\n")
 
     clustering_1 = setup.clustering(n_clusters=3, lam=1.0)
@@ -48,14 +40,14 @@ def main() -> None:
     print(f"clustering lambda={clustering_opt.lam:.2f}: counts {clustering_opt.counts.tolist()}, "
           f"theoretical speedup {clustering_opt.speedup():.2f}x (paper: 2.67x at lambda=0.80)\n")
 
-    gts, rec_gts, t_gts = run_config(setup, None, "GTS")
-    lts1, rec_1, t_1 = run_config(setup, clustering_1, "LTS lambda=1.00")
-    ltso, rec_o, t_o = run_config(setup, clustering_opt, f"LTS lambda={clustering_opt.lam:.2f}")
+    gts, s_gts = run_config(setup, clustering_1, "gts", "GTS")
+    lts1, s_1 = run_config(setup, clustering_1, "lts", "LTS lambda=1.00")
+    ltso, s_o = run_config(setup, clustering_opt, "lts", f"LTS lambda={clustering_opt.lam:.2f}")
 
-    t_g, v_g = rec_gts["receiver_9"].seismogram()
+    t_g, v_g = gts.receivers["receiver_9"].seismogram()
     print("\nseismogram misfits E against the GTS reference (paper: ~1e-3):")
-    for label, rec in (("LTS lambda=1.00", rec_1), (f"LTS lambda={clustering_opt.lam:.2f}", rec_o)):
-        t_l, v_l = rec["receiver_9"].seismogram()
+    for label, runner in (("LTS lambda=1.00", lts1), (f"LTS lambda={clustering_opt.lam:.2f}", ltso)):
+        t_l, v_l = runner.receivers["receiver_9"].seismogram()
         common = np.linspace(0.0, min(t_g[-1], t_l[-1]), 300)
         misfit = seismogram_misfit(
             resample_seismogram(t_l, v_l, common), resample_seismogram(t_g, v_g, common)
@@ -63,15 +55,16 @@ def main() -> None:
         print(f"  {label:<22s} E = {misfit:.3e}")
 
     print("\nmeasured time-to-solution speedups over GTS (Tab. I analogue):")
-    print(f"  LTS lambda=1.00        {t_gts / t_1:5.2f}x   (paper: 2.14x)")
-    print(f"  LTS lambda={clustering_opt.lam:.2f}        {t_gts / t_o:5.2f}x   (paper: 2.51x)")
+    print(f"  LTS lambda=1.00        {s_gts['wall_s'] / s_1['wall_s']:5.2f}x   (paper: 2.14x)")
+    print(f"  LTS lambda={clustering_opt.lam:.2f}        "
+          f"{s_gts['wall_s'] / s_o['wall_s']:5.2f}x   (paper: 2.51x)")
 
-    elastic = loh3_setup(extent_m=8000.0, characteristic_length=2000.0, order=4, anelastic=False)
-    g_e = GlobalTimeSteppingSolver(elastic.disc)
-    start = time.perf_counter(); g_e.run(10 * g_e.dt); t_e = time.perf_counter() - start
-    g_v = GlobalTimeSteppingSolver(setup.disc)
-    start = time.perf_counter(); g_v.run(10 * g_v.dt); t_v = time.perf_counter() - start
-    cost = (t_v / g_v.n_element_updates) / (t_e / g_e.n_element_updates)
+    elastic = build_setup(
+        get_scenario("loh3", extent_m=8000.0, characteristic_length=2000.0, order=4,
+                     anelastic=False)
+    )
+
+    cost = measure_update_cost(setup) / measure_update_cost(elastic)
     print(f"\ncost of anelasticity (3 mechanisms): {cost:.2f}x per element update (paper: ~1.8x)")
 
 

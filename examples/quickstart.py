@@ -1,65 +1,60 @@
 #!/usr/bin/env python
 """Quickstart: a point source in a layered box, solved with clustered LTS.
 
-Builds a small velocity-aware mesh of the LOH.3 layer-over-halfspace model,
-derives the local time stepping clusters (with lambda optimisation), runs the
-clustered LTS solver with a moment-tensor point source, and prints the
-clustering statistics and the peak ground velocity recorded at a station.
+Fetches the LOH.3 scenario from the registry, lets the scenario runner build
+the velocity-aware mesh, derive the local time stepping clusters (with lambda
+optimisation) and drive the clustered LTS solver, then cross-checks the
+recorded seismogram against a GTS reference run of the same scenario.
 
 Run:  python examples/quickstart.py
+(or equivalently: python -m repro run loh3 --order 3)
 """
 
 import numpy as np
 
-from repro.core import ClusteredLtsSolver, GlobalTimeSteppingSolver, optimize_lambda
-from repro.source import MomentTensorSource, ReceiverSet, RickerWavelet, seismogram_misfit
+from repro.scenarios import ScenarioRunner, get_scenario
+from repro.source import seismogram_misfit
 from repro.source.receivers import resample_seismogram
-from repro.workloads import loh3_setup
 
 
 def main() -> None:
     print("=== EDGE-style ADER-DG with next-generation LTS: quickstart ===\n")
 
-    # 1. workload: a scaled LOH.3 setting (layer over halfspace, Q attenuation)
-    setup = loh3_setup(extent_m=8000.0, characteristic_length=2000.0, order=3)
+    # 1. scenario: a scaled LOH.3 setting (layer over halfspace, Q attenuation)
+    spec = get_scenario(
+        "loh3", extent_m=8000.0, characteristic_length=2000.0, order=3, n_cycles=4
+    )
+    runner = ScenarioRunner(spec)
+    setup, clustering = runner.setup, runner.clustering
     print(f"mesh: {setup.mesh.n_elements} tetrahedra, "
           f"time-step spread {setup.time_steps.max() / setup.time_steps.min():.2f}x")
 
     # 2. clustering: N_c = 3 rate-2 clusters, lambda optimised by grid search
-    clustering = optimize_lambda(setup.time_steps, 3, setup.mesh.neighbors)
     print(f"clusters: {clustering.counts.tolist()}, lambda = {clustering.lam:.2f}, "
           f"theoretical speedup over GTS = {clustering.speedup():.2f}x")
 
-    # 3. source + receiver
-    receivers = ReceiverSet(setup.disc, setup.receiver_locations)
-    solver = ClusteredLtsSolver(
-        setup.disc, clustering, sources=[setup.source], receivers=receivers
-    )
-
-    # 4. run
-    t_end = 4 * clustering.cluster_time_steps[-1]
+    # 3. run (source + receivers come with the scenario)
+    t_end = spec.run.n_cycles * runner.macro_dt
     print(f"\nrunning clustered LTS to t = {t_end:.3f} s ...")
-    solver.run(t_end)
-    print(f"element updates performed: {solver.n_element_updates}")
+    summary = runner.run()
+    print(f"element updates performed: {summary['element_updates']}")
 
-    times, velocity = receivers["receiver_9"].seismogram()
+    times, velocity = runner.receivers["receiver_9"].seismogram()
     if len(times):
         print(f"peak |v| at receiver_9: {np.max(np.abs(velocity)):.3e} m/s "
               f"({len(times)} samples)")
 
-    # 5. cross-check against the GTS reference
-    receivers_ref = ReceiverSet(setup.disc, setup.receiver_locations)
-    reference = GlobalTimeSteppingSolver(
-        setup.disc, dt=clustering.cluster_time_steps[0],
-        sources=[setup.source], receivers=receivers_ref,
+    # 4. cross-check against the GTS reference (same scenario, solver swapped)
+    reference = ScenarioRunner(
+        spec.with_overrides(solver="gts"), setup=setup, clustering=clustering
     )
-    reference.run(t_end)
-    t_r, v_r = receivers_ref["receiver_9"].seismogram()
+    ref_summary = reference.run()
+    t_r, v_r = reference.receivers["receiver_9"].seismogram()
     common = np.linspace(0.0, min(times[-1], t_r[-1]), 200)
     misfit = seismogram_misfit(
         resample_seismogram(times, velocity, common), resample_seismogram(t_r, v_r, common)
     )
-    speedup = reference.n_element_updates / solver.n_element_updates
+    speedup = ref_summary["element_updates"] / summary["element_updates"]
     print(f"\nLTS vs GTS: seismogram misfit E = {misfit:.2e}, "
           f"algorithmic speedup = {speedup:.2f}x (theoretical {clustering.speedup():.2f}x)")
 

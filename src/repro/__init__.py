@@ -12,6 +12,7 @@ The package mirrors the structure of the EDGE solver the paper describes:
 * :mod:`repro.parallel`        -- partitioning, communication accounting, scaling model
 * :mod:`repro.preprocessing`   -- velocity models and the end-to-end preprocessing pipeline
 * :mod:`repro.workloads`       -- LOH.3 and the (scaled) La Habra workloads
+* :mod:`repro.scenarios`       -- declarative scenario specs, registry, runner and CLI
 """
 
 from .core import (
@@ -24,11 +25,21 @@ from .core import (
 from .equations import ElasticMaterial, MaterialTable, ViscoelasticMaterial
 from .kernels import Discretization
 from .mesh import TetMesh, box_mesh, layered_box_mesh
+from .scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "get_scenario",
+    "scenario_names",
     "TetMesh",
     "box_mesh",
     "layered_box_mesh",

@@ -1,0 +1,6 @@
+"""``python -m repro`` entry point (the scenario CLI)."""
+
+from .scenarios.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,9 @@ class _ClusterData:
             )
         self.relations = relations
         self.has_smaller_neighbor = bool(np.any(relations == SMALLER))
+        #: source elements of this cluster (filled by the solver once the
+        #: sources are bound; avoids a set intersection per correction step)
+        self.source_elements = np.zeros(0, dtype=np.int64)
         # prediction storage
         self.pending_local_delta: np.ndarray | None = None
         self.pending_te: np.ndarray | None = None
@@ -96,6 +99,9 @@ class ClusteredLtsSolver:
         self.clusters = [
             _ClusterData(disc, clustering, l) for l in range(clustering.n_clusters)
         ]
+        source_ids = np.array(sorted(self._sources_by_element), dtype=np.int64)
+        for cluster in self.clusters:
+            cluster.source_elements = np.intersect1d(cluster.elements, source_ids)
         self.time = 0.0
         self.n_element_updates = 0
 
@@ -160,9 +166,7 @@ class ClusteredLtsSolver:
         cluster.pending_te = None
 
         t_new = cluster_start_time + cluster.dt
-        for element in np.intersect1d(
-            cluster.elements, np.array(sorted(self._sources_by_element), dtype=np.int64)
-        ):
+        for element in cluster.source_elements:
             for source in self._sources_by_element[int(element)]:
                 source.inject(self.dofs, cluster_start_time, t_new)
         if self.receivers is not None:

@@ -74,6 +74,7 @@ class PreprocessingPipeline:
         cfl: float = 0.5,
         jitter: float = 0.15,
         optimize_lambda_increment: float = 0.01,
+        lam: float | None = None,
         topography=None,
         seed: int = 0,
     ):
@@ -88,6 +89,7 @@ class PreprocessingPipeline:
         self.cfl = cfl
         self.jitter = jitter
         self.optimize_lambda_increment = optimize_lambda_increment
+        self.lam = lam
         self.topography = topography
         self.seed = seed
 
@@ -115,12 +117,23 @@ class PreprocessingPipeline:
         """Execute the full pipeline and return the preprocessed model."""
         mesh = self.build_mesh()
         materials = MaterialTable.from_velocity_model(self.velocity_model, mesh.centroids)
+        return self.preprocess(mesh, materials)
+
+    def preprocess(self, mesh: TetMesh, materials: MaterialTable) -> PreprocessedModel:
+        """Steps 3-6 of the pipeline on a prebuilt mesh + material table.
+
+        The scenario runner uses this entry point to route spec-built meshes
+        through clustering, weighted partitioning and reordering.
+        """
         time_steps = cfl_time_steps(
             mesh.insphere_radii, materials.max_wave_speed, self.order, self.cfl
         )
 
-        # LTS clustering with lambda optimisation (Sec. V-A)
-        if self.optimize_lambda_increment > 0:
+        # LTS clustering (Sec. V-A): an explicit lambda wins, otherwise the
+        # grid search runs (or lambda = 1 when the search is disabled)
+        if self.lam is not None:
+            clustering = derive_clustering(time_steps, self.n_clusters, self.lam, mesh.neighbors)
+        elif self.optimize_lambda_increment > 0:
             clustering = optimize_lambda(
                 time_steps, self.n_clusters, mesh.neighbors, self.optimize_lambda_increment
             )

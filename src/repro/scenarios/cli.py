@@ -1,0 +1,224 @@
+"""Command line interface of the scenario engine.
+
+::
+
+    python -m repro list
+    python -m repro describe loh3
+    python -m repro run loh3 --clusters 3 --order 3
+    python -m repro run bimaterial_slab --set contrast=3.0 --output-dir out/
+    python -m repro run la_habra --smoke
+    python -m repro run loh3 --checkpoint run.ckpt.npz --checkpoint-every 1
+    python -m repro resume run.ckpt.npz
+
+(also installed as the ``repro`` console script).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .outputs import write_outputs
+from .registry import describe_scenario, get_scenario, scenario_names
+from .runner import ScenarioRunner
+from .spec import ScenarioSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_value(text: str):
+    """Best-effort literal for ``--set key=value`` overrides."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, _, value = pair.partition("=")
+        overrides[key.strip()] = _parse_value(value.strip())
+    return overrides
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run clustered-LTS ADER-DG scenarios from declarative specs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios")
+
+    describe = sub.add_parser("describe", help="show a scenario's documentation and spec")
+    describe.add_argument("name", help="registered scenario name")
+
+    run = sub.add_parser("run", help="run a scenario end-to-end")
+    run.add_argument("name", nargs="?", help="registered scenario name")
+    run.add_argument("--spec", help="path to a ScenarioSpec JSON file (instead of a name)")
+    run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                     help="factory override (repeatable), e.g. --set contrast=3.0")
+    run.add_argument("--clusters", type=int, help="number of LTS clusters")
+    run.add_argument("--lambda", dest="lam", type=float,
+                     help="fixed lambda in (0.5, 1]; omit for the grid-search optimum")
+    run.add_argument("--order", type=int, help="order of convergence")
+    run.add_argument("--fused", type=int, help="number of fused simulations")
+    run.add_argument("--solver", choices=("gts", "lts", "legacy-lts"), help="solver kind")
+    run.add_argument("--cycles", type=int, help="number of macro cycles to run")
+    run.add_argument("--t-end", type=float, help="target simulated time [s]")
+    run.add_argument("--seed", type=int, help="mesh jitter seed")
+    run.add_argument("--partitions", type=int, help="partition count (enables reordering)")
+    run.add_argument("--reorder", action="store_true",
+                     help="reorder elements by (partition, cluster, role)")
+    run.add_argument("--smoke", action="store_true",
+                     help="coarsened two-cycle variant (CI smoke test)")
+    run.add_argument("--checkpoint", metavar="PATH", help="checkpoint file to write")
+    run.add_argument("--checkpoint-every", type=int, metavar="N",
+                     help="checkpoint cadence in macro cycles")
+    run.add_argument("--output-dir", metavar="DIR",
+                     help="write seismogram CSVs and run_summary.json here")
+    run.add_argument("--quiet", action="store_true", help="suppress the summary printout")
+
+    resume = sub.add_parser("resume", help="resume a checkpointed run")
+    resume.add_argument("checkpoint", help="checkpoint file written by 'run --checkpoint'")
+    resume.add_argument("--output-dir", metavar="DIR")
+    resume.add_argument("--quiet", action="store_true")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from .registry import _REGISTRY  # summaries live next to the factories
+
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        print(f"{name:<{width}}  {_REGISTRY[name].summary}")
+    return 0
+
+
+def _cmd_describe(name: str) -> int:
+    print(describe_scenario(name))
+    print("\ndefault spec:")
+    print(get_scenario(name).to_json(indent=2))
+    return 0
+
+
+def _resolve_spec(args) -> ScenarioSpec:
+    if args.spec:
+        if args.name:
+            raise SystemExit("run takes a scenario name or --spec FILE, not both")
+        if args.set:
+            raise SystemExit(
+                "--set passes factory overrides and has no effect with --spec; "
+                "edit the spec file (or use flags like --order) instead"
+            )
+        with open(args.spec) as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    elif args.name:
+        spec = get_scenario(args.name, **_parse_overrides(args.set))
+    else:
+        raise SystemExit("run needs a scenario name or --spec FILE")
+    spec = spec.with_overrides(
+        order=args.order,
+        n_clusters=args.clusters,
+        lam=args.lam if args.lam is not None else "keep",
+        solver=args.solver,
+        n_fused=args.fused,
+        n_cycles=args.cycles,
+        t_end=args.t_end,
+        checkpoint_every=args.checkpoint_every if args.checkpoint_every else "keep",
+        n_partitions=args.partitions,
+        reorder=True if (args.reorder or args.partitions) else None,
+        seed=args.seed,
+    )
+    if args.smoke:
+        spec = spec.smoke()
+    return spec
+
+
+def _finish(runner: ScenarioRunner, summary: dict, output_dir, quiet: bool) -> int:
+    if output_dir:
+        written = write_outputs(runner, output_dir)
+        summary = dict(summary)
+        summary["outputs"] = str(written["run_summary"].parent)
+    if not quiet:
+        print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _input_error(error) -> int:
+    # user-input errors (unknown scenario, invalid spec value, bad factory
+    # override, unreadable file) exit cleanly instead of with a traceback
+    message = error.args[0] if (isinstance(error, KeyError) and error.args) else error
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _cmd_run(args) -> int:
+    # only spec resolution and runner construction are guarded: a failure
+    # during the run itself is a solver bug and keeps its traceback
+    try:
+        spec = _resolve_spec(args)
+        runner = ScenarioRunner(spec)
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        return _input_error(error)
+    if not args.quiet:
+        clustering = runner.clustering
+        print(
+            f"[{spec.name}] {runner.setup.mesh.n_elements} elements, "
+            f"order {spec.order}, {clustering.n_clusters} clusters "
+            f"(lambda {clustering.lam:.2f}, theoretical speedup "
+            f"{clustering.speedup():.2f}x), solver {spec.solver.kind}",
+            file=sys.stderr,
+        )
+    summary = runner.run(
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    return _finish(runner, summary, args.output_dir, args.quiet)
+
+
+def _cmd_resume(args) -> int:
+    try:
+        runner = ScenarioRunner.resume(args.checkpoint)
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        return _input_error(error)
+    if not args.quiet:
+        print(
+            f"[{runner.spec.name}] resumed at cycle {runner.cycles_done}/"
+            f"{runner.total_cycles} (t = {runner.solver.time:.4f} s)",
+            file=sys.stderr,
+        )
+    summary = runner.run(checkpoint_path=args.checkpoint)
+    return _finish(runner, summary, args.output_dir, args.quiet)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "describe":
+        try:
+            return _cmd_describe(args.name)
+        except KeyError as error:
+            return _input_error(error)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "resume":
+        return _cmd_resume(args)
+    raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

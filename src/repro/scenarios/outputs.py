@@ -1,0 +1,72 @@
+"""Run artefacts: seismogram CSVs and the run-summary JSON.
+
+One CSV per receiver (``seismogram_<name>.csv`` with a ``time`` column and
+one velocity column per component -- per fused simulation for ensemble runs)
+plus a single ``run_summary.json`` carrying the runner's accounting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_seismograms", "write_run_summary", "write_outputs"]
+
+
+def _jsonable(value):
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def write_seismograms(receivers, directory) -> list[Path]:
+    """Write one ``seismogram_<name>.csv`` per receiver; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for receiver in receivers.receivers:
+        times, values = receiver.seismogram()
+        values = np.asarray(values, dtype=np.float64)
+        # reshape(0, -1) is ambiguous for empty recordings; emit an empty CSV
+        flat = (
+            values.reshape(len(times), -1)
+            if len(times)
+            else values.reshape(0, values.shape[-1] if values.ndim > 1 else 3)
+        )
+        if flat.shape[1] in (0, 3):
+            header = "time,vx,vy,vz"
+        else:  # fused runs: one column per (component, simulation)
+            n_fused = flat.shape[1] // 3
+            header = "time," + ",".join(
+                f"v{axis}_{f}" for axis in "xyz" for f in range(n_fused)
+            )
+        path = directory / f"seismogram_{receiver.name}.csv"
+        table = np.column_stack([np.asarray(times, dtype=np.float64), flat])
+        np.savetxt(path, table, delimiter=",", header=header, comments="")
+        paths.append(path)
+    return paths
+
+
+def write_run_summary(path, summary: dict) -> Path:
+    """Write the run summary as indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(_jsonable(summary), indent=2) + "\n")
+    return path
+
+
+def write_outputs(runner, directory) -> dict:
+    """Write all artefacts of a finished run into ``directory``."""
+    directory = Path(directory)
+    written = {"run_summary": write_run_summary(directory / "run_summary.json", runner.summary())}
+    if runner.receivers is not None:
+        written["seismograms"] = write_seismograms(runner.receivers, directory)
+    return written

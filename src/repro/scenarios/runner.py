@@ -1,0 +1,548 @@
+"""Scenario orchestration: spec -> mesh -> solver -> cycle loop.
+
+:func:`build_setup` materialises a :class:`~repro.scenarios.spec.ScenarioSpec`
+into the executable objects (mesh, material table, discretization, source,
+initial condition).  :class:`ScenarioRunner` then drives the run the way the
+paper's pipeline does (Fig. 8): optional weighted partitioning + reordering
+through :class:`~repro.preprocessing.pipeline.PreprocessingPipeline`, solver
+construction (GTS or clustered LTS), and a macro-cycle loop with wall-clock
+and element-update accounting.
+
+Checkpoint/restart serialises the complete dynamic state of a run -- DOFs,
+simulation time, per-cluster ``step_index``, the three LTS time buffers and
+the receiver recordings -- at macro-cycle boundaries (where no prediction is
+pending), so a resumed run is bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clustering import Clustering, derive_clustering, optimize_lambda
+from ..core.gts_solver import GlobalTimeSteppingSolver
+from ..core.legacy_lts import communication_volumes
+from ..core.lts_solver import ClusteredLtsSolver
+from ..equations.material import MaterialTable
+from ..kernels.discretization import Discretization
+from ..mesh.generation import layered_box_mesh
+from ..mesh.refinement import elements_per_wavelength_rule
+from ..mesh.tet_mesh import TetMesh
+from ..preprocessing.velocity_model import LaHabraBasinModel, Layer, LayeredVelocityModel, loh3_model
+from ..source.receivers import ReceiverSet
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioSetup",
+    "ScenarioRunner",
+    "build_setup",
+    "measure_update_cost",
+    "CHECKPOINT_FORMAT_VERSION",
+]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# spec -> executable objects
+# ---------------------------------------------------------------------------
+
+
+def build_velocity_model(spec: ScenarioSpec):
+    """Construct the velocity model named by the spec."""
+    vm = spec.velocity_model
+    if vm.kind == "loh3":
+        return loh3_model()
+    if vm.kind == "la_habra_basin":
+        x0, x1, y0, y1, _, _ = spec.domain.extent
+        return LaHabraBasinModel(extent=(x0, x1, y0, y1), **vm.params)
+    if vm.kind == "homogeneous":
+        params = dict(vm.params)
+        return LayeredVelocityModel(
+            [
+                Layer(
+                    z_top=1e9,
+                    z_bottom=-1e9,
+                    rho=params["rho"],
+                    vp=params["vp"],
+                    vs=params["vs"],
+                    qp=params.get("qp", np.inf),
+                    qs=params.get("qs", np.inf),
+                )
+            ]
+        )
+    if vm.kind == "layered":
+        return LayeredVelocityModel([Layer(**layer) for layer in vm.params["layers"]])
+    raise ValueError(f"unknown velocity model kind {vm.kind!r}")
+
+
+def _edge_rules(spec: ScenarioSpec, model):
+    """The vertical edge-length rule ``h(z)`` and the horizontal edge length."""
+    mesh = spec.mesh
+    if mesh.mode == "characteristic":
+        base = mesh.characteristic_length
+        refinements = sorted(mesh.refinements, key=lambda r: -r.z_above)
+
+        def rule(z: float) -> float:
+            for refinement in refinements:
+                if z > refinement.z_above:
+                    return base / refinement.divide_by
+            return base
+
+        return rule, base * mesh.horizontal_factor
+    rule = elements_per_wavelength_rule(
+        model.min_shear_velocity, mesh.max_frequency, mesh.elements_per_wavelength, spec.order
+    )
+    z_top = spec.domain.extent[5]
+    return rule, rule(z_top) * mesh.horizontal_factor
+
+
+def _topography(spec: ScenarioSpec):
+    domain = spec.domain
+    if domain.topography == "none":
+        return None
+    x0, x1, y0, y1, _, _ = domain.extent
+    amplitude = domain.topography_amplitude
+
+    def topography(x, y):
+        return amplitude * np.sin(2 * np.pi * (x - x0) / (x1 - x0)) * np.cos(
+            2 * np.pi * (y - y0) / (y1 - y0)
+        )
+
+    return topography
+
+
+def _initial_condition(spec: ScenarioSpec, materials: MaterialTable):
+    ic = spec.initial_condition
+    if ic is None:
+        return None
+    params = ic.params
+    if ic.kind == "gaussian_pulse":
+        x0, x1, y0, y1, z0, z1 = spec.domain.extent
+        center = np.asarray(
+            params.get("center", (0.5 * (x0 + x1), 0.5 * (y0 + y1), 0.5 * (z0 + z1))),
+            dtype=np.float64,
+        )
+        width = float(params.get("width", 0.1 * (x1 - x0)))
+        amplitude = float(params.get("amplitude", 1.0))
+        component = int(params.get("component", 8))
+
+        def gaussian(points):
+            out = np.zeros((len(points), 9))
+            r2 = np.sum((points - center) ** 2, axis=1)
+            out[:, component] = amplitude * np.exp(-r2 / (2.0 * width**2))
+            return out
+
+        return gaussian
+    if ic.kind == "plane_wave":
+        # exact elastic plane P wave travelling in +x:
+        #   v_x = g(x), s_xx = -rho vp g, s_yy = s_zz = s_xx * lam / (lam + 2 mu)
+        amplitude = float(params.get("amplitude", 1e-3))
+        wavelength = float(params["wavelength"])
+        rho = float(np.mean(materials.rho))
+        vp = float(np.mean(materials.vp))
+        lam_el = float(np.mean(materials.lam))
+        mu_el = float(np.mean(materials.mu))
+        lateral = lam_el / (lam_el + 2.0 * mu_el)
+        k = 2.0 * np.pi / wavelength
+
+        def plane_wave(points):
+            out = np.zeros((len(points), 9))
+            g = amplitude * np.sin(k * points[:, 0])
+            out[:, 6] = g
+            out[:, 0] = -rho * vp * g
+            out[:, 1] = out[:, 2] = -rho * vp * g * lateral
+            return out
+
+        return plane_wave
+    raise ValueError(f"unknown initial condition kind {ic.kind!r}")
+
+
+@dataclass
+class ScenarioSetup:
+    """Executable objects materialised from a :class:`ScenarioSpec`."""
+
+    spec: ScenarioSpec
+    velocity_model: object
+    mesh: TetMesh
+    materials: MaterialTable
+    disc: Discretization
+    time_steps: np.ndarray
+    source: object | None
+    receiver_locations: dict
+    initial_condition: object | None
+
+    def clustering(
+        self, n_clusters: int | None = None, lam: float | None | str = "spec"
+    ) -> Clustering:
+        """Clustering per the spec's policy (or explicit overrides)."""
+        policy = self.spec.clustering
+        n_clusters = policy.n_clusters if n_clusters is None else n_clusters
+        lam = policy.lam if lam == "spec" else lam
+        if lam is None:
+            return optimize_lambda(
+                self.time_steps, n_clusters, self.mesh.neighbors, policy.increment
+            )
+        return derive_clustering(self.time_steps, n_clusters, lam, self.mesh.neighbors)
+
+
+def _build_discretization(spec: ScenarioSpec, mesh: TetMesh, materials: MaterialTable):
+    """Discretization per the spec's material/solver options (shared between
+    the plain build and the reordered preprocessing path)."""
+    n_mechanisms = (
+        spec.material.n_mechanisms
+        if (spec.material.anelastic and materials.is_attenuating())
+        else 0
+    )
+    band = spec.material.frequency_band or (
+        spec.mesh.max_frequency / 20.0,
+        2.0 * spec.mesh.max_frequency,
+    )
+    return Discretization(
+        mesh,
+        materials,
+        order=spec.order,
+        n_mechanisms=n_mechanisms,
+        frequency_band=band,
+        flux=spec.solver.flux,
+        cfl=spec.solver.cfl,
+    )
+
+
+def build_setup(spec: ScenarioSpec) -> ScenarioSetup:
+    """Materialise a spec: velocity model, mesh, materials, discretization,
+    source, receivers and initial condition (no partitioning/reordering)."""
+    model = build_velocity_model(spec)
+    rule, horizontal = _edge_rules(spec, model)
+    mesh = layered_box_mesh(
+        extent=spec.domain.extent,
+        edge_length_of_depth=rule,
+        horizontal_edge_length=horizontal,
+        jitter=spec.mesh.jitter,
+        seed=spec.mesh.seed,
+        topography=_topography(spec),
+    )
+    materials = MaterialTable.from_velocity_model(model, mesh.centroids)
+    if not spec.material.anelastic:
+        materials = MaterialTable(rho=materials.rho, vp=materials.vp, vs=materials.vs)
+    disc = _build_discretization(spec, mesh, materials)
+    return ScenarioSetup(
+        spec=spec,
+        velocity_model=model,
+        mesh=mesh,
+        materials=materials,
+        disc=disc,
+        time_steps=disc.time_steps,
+        source=spec.source.build() if spec.source is not None else None,
+        receiver_locations=spec.receiver_locations,
+        initial_condition=_initial_condition(spec, materials),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the runner
+# ---------------------------------------------------------------------------
+
+
+class ScenarioRunner:
+    """Drives one scenario end-to-end with accounting and checkpointing."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        *,
+        setup: ScenarioSetup | None = None,
+        clustering: Clustering | None = None,
+    ):
+        self.spec = spec
+        self.setup = setup if setup is not None else build_setup(spec)
+        self.preprocessed = None
+        if spec.preprocessing.active:
+            if clustering is not None:
+                raise ValueError(
+                    "an explicit clustering cannot be combined with "
+                    "preprocessing reordering: the permutation would invalidate "
+                    "its element indices (let the pipeline derive the clustering)"
+                )
+            clustering = self._apply_preprocessing()
+        self.clustering = clustering if clustering is not None else self.setup.clustering()
+
+        disc = self.setup.disc
+        self.receivers = (
+            ReceiverSet(disc, self.setup.receiver_locations)
+            if self.setup.receiver_locations
+            else None
+        )
+        sources = [self.setup.source] if self.setup.source is not None else []
+        if spec.solver.kind == "gts":
+            self.solver = GlobalTimeSteppingSolver(
+                disc,
+                dt=float(self.clustering.cluster_time_steps[0]),
+                sources=sources,
+                receivers=self.receivers,
+                n_fused=spec.solver.n_fused,
+            )
+        else:  # "lts" and "legacy-lts" share the clustered driver
+            self.solver = ClusteredLtsSolver(
+                disc,
+                self.clustering,
+                sources=sources,
+                receivers=self.receivers,
+                n_fused=spec.solver.n_fused,
+            )
+        if self.setup.initial_condition is not None:
+            self.solver.set_initial_condition(self.setup.initial_condition)
+        self.cycles_done = 0
+        self.wall_s = 0.0
+
+    # -- preprocessing --------------------------------------------------
+    def _apply_preprocessing(self) -> Clustering:
+        """Route mesh + materials through the weighted-partitioning /
+        reordering stages of the preprocessing pipeline (Fig. 8, steps 3-5)
+        and rebuild the discretization in solver element order."""
+        from ..preprocessing.pipeline import PreprocessingPipeline
+
+        spec = self.spec
+        pipeline = PreprocessingPipeline(
+            velocity_model=self.setup.velocity_model,
+            extent=spec.domain.extent,
+            max_frequency=spec.mesh.max_frequency,
+            elements_per_wavelength=spec.mesh.elements_per_wavelength,
+            order=spec.order,
+            n_mechanisms=spec.material.n_mechanisms,
+            n_clusters=spec.clustering.n_clusters,
+            n_partitions=spec.preprocessing.n_partitions,
+            cfl=spec.solver.cfl,
+            jitter=spec.mesh.jitter,
+            optimize_lambda_increment=spec.clustering.increment,
+            lam=spec.clustering.lam,
+            seed=spec.mesh.seed,
+        )
+        model = pipeline.preprocess(self.setup.mesh, self.setup.materials)
+        disc = _build_discretization(spec, model.mesh, model.materials)
+        self.preprocessed = model
+        self.setup = ScenarioSetup(
+            spec=spec,
+            velocity_model=self.setup.velocity_model,
+            mesh=model.mesh,
+            materials=model.materials,
+            disc=disc,
+            time_steps=disc.time_steps,
+            source=self.setup.source,
+            receiver_locations=self.setup.receiver_locations,
+            initial_condition=self.setup.initial_condition,
+        )
+        return model.clustering
+
+    # -- cycle loop -----------------------------------------------------
+    @property
+    def macro_dt(self) -> float:
+        """Duration of one macro cycle (one step of the largest cluster)."""
+        return float(self.clustering.cluster_time_steps[-1])
+
+    @property
+    def total_cycles(self) -> int:
+        run = self.spec.run
+        if run.n_cycles is not None:
+            return run.n_cycles
+        return int(np.ceil(run.t_end / self.macro_dt - 1e-12))
+
+    def step_cycle(self) -> None:
+        """Advance the simulation by one macro cycle."""
+        if isinstance(self.solver, ClusteredLtsSolver):
+            self.solver.step_cycle()
+        else:
+            # one macro cycle = 2^(N_c - 1) GTS steps at the cluster-0 step
+            for _ in range(2 ** (self.clustering.n_clusters - 1)):
+                self.solver.step()
+        self.cycles_done += 1
+
+    def run(
+        self,
+        *,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+    ) -> dict:
+        """Run the remaining macro cycles; returns the run summary.
+
+        With ``checkpoint_path`` set, a checkpoint is written every
+        ``checkpoint_every`` cycles (default: the spec's cadence) and after
+        the final cycle.
+        """
+        if checkpoint_every is None:
+            checkpoint_every = self.spec.run.checkpoint_every
+        while self.cycles_done < self.total_cycles:
+            # checkpoint I/O stays outside the timed region so wall_s and
+            # element_updates_per_s are comparable to uncheckpointed runs
+            start = _time.perf_counter()
+            self.step_cycle()
+            self.wall_s += _time.perf_counter() - start
+            if (
+                checkpoint_path is not None
+                and checkpoint_every
+                and self.cycles_done % checkpoint_every == 0
+            ):
+                self.save_checkpoint(checkpoint_path)
+        if checkpoint_path is not None:
+            self.save_checkpoint(checkpoint_path)
+        return self.summary()
+
+    def summary(self) -> dict:
+        """Key figures of the run (JSON-ready)."""
+        spec = self.spec
+        clustering = self.clustering
+        updates = int(self.solver.n_element_updates)
+        out = {
+            "scenario": spec.name,
+            "solver": spec.solver.kind,
+            "order": spec.order,
+            "n_fused": spec.solver.n_fused,
+            "n_elements": int(self.setup.mesh.n_elements),
+            "n_clusters": int(clustering.n_clusters),
+            "lambda": float(clustering.lam),
+            "cluster_counts": clustering.counts.tolist(),
+            "theoretical_speedup": float(clustering.speedup()),
+            "cycles": int(self.cycles_done),
+            "macro_dt": self.macro_dt,
+            "t_end": float(self.solver.time),
+            "element_updates": updates,
+            "wall_s": float(self.wall_s),
+            "element_updates_per_s": updates / self.wall_s if self.wall_s > 0 else 0.0,
+            "n_receivers": len(self.receivers) if self.receivers is not None else 0,
+        }
+        if self.preprocessed is not None:
+            out["n_partitions"] = int(self.preprocessed.partitions.max() + 1)
+        if spec.solver.kind == "legacy-lts":
+            volumes = communication_volumes(spec.order, spec.material.n_mechanisms)
+            out["legacy_comm"] = {
+                "derivative_scheme_anelastic": volumes.derivative_scheme_anelastic,
+                "buffer_scheme": volumes.buffer_scheme,
+                "reduction_vs_derivatives": volumes.reduction_vs_derivatives(),
+                "reduction_face_local": volumes.reduction_face_local(),
+            }
+        return out
+
+    # -- checkpoint / restart -------------------------------------------
+    def save_checkpoint(self, path) -> None:
+        """Serialise the complete dynamic state at a macro-cycle boundary."""
+        solver = self.solver
+        meta = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "spec": self.spec.to_dict(),
+            "solver_kind": self.spec.solver.kind,
+            "cycles_done": self.cycles_done,
+            "time": solver.time,
+            "wall_s": self.wall_s,
+            "n_element_updates": int(solver.n_element_updates),
+            "receiver_names": (
+                [r.name for r in self.receivers.receivers] if self.receivers else []
+            ),
+        }
+        meta["clustering"] = {
+            "lam": self.clustering.lam,
+            "dt_min": self.clustering.dt_min,
+        }
+        arrays = {
+            "dofs": solver.dofs,
+            "cluster_ids": self.clustering.cluster_ids,
+            "cluster_time_steps": self.clustering.cluster_time_steps,
+        }
+        if isinstance(solver, ClusteredLtsSolver):
+            arrays["step_index"] = np.array(
+                [cluster.step_index for cluster in solver.clusters], dtype=np.int64
+            )
+            arrays["b1"] = solver.buffers.b1
+            arrays["b2"] = solver.buffers.b2
+            arrays["b3"] = solver.buffers.b3
+        if self.receivers is not None:
+            for i, receiver in enumerate(self.receivers.receivers):
+                times, samples = receiver.seismogram()
+                arrays[f"rec{i}_times"] = times
+                arrays[f"rec{i}_samples"] = samples
+        # write through an explicit handle: savez would otherwise append
+        # '.npz' to suffix-less paths, breaking `repro resume <given path>`
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+
+    @classmethod
+    def resume(cls, path) -> "ScenarioRunner":
+        """Rebuild a runner from a checkpoint; continuation is bit-identical
+        to the uninterrupted run."""
+        with np.load(path) as data:
+            meta = json.loads(str(data["meta"]))
+            if meta["format_version"] != CHECKPOINT_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint format {meta['format_version']}"
+                )
+            spec = ScenarioSpec.from_dict(meta["spec"])
+            restored = Clustering(
+                cluster_ids=data["cluster_ids"].copy(),
+                cluster_time_steps=data["cluster_time_steps"].copy(),
+                lam=float(meta["clustering"]["lam"]),
+                dt_min=float(meta["clustering"]["dt_min"]),
+            )
+            # preprocessing-active specs must re-derive the clustering through
+            # the pipeline (the constructor rejects an explicit one); plain
+            # specs restore the exact checkpointed clustering so runners built
+            # with a non-spec clustering also resume bit-identically
+            if spec.preprocessing.active:
+                runner = cls(spec)
+            else:
+                runner = cls(spec, clustering=restored)
+            runner._load_state(data, meta)
+        return runner
+
+    def _load_state(self, data, meta: dict) -> None:
+        solver = self.solver
+        dofs = data["dofs"]
+        if dofs.shape != solver.dofs.shape:
+            raise ValueError(
+                f"checkpoint DOF shape {dofs.shape} does not match the rebuilt "
+                f"scenario {solver.dofs.shape}; was the spec edited?"
+            )
+        if not (
+            np.array_equal(self.clustering.cluster_ids, data["cluster_ids"])
+            and np.array_equal(
+                self.clustering.cluster_time_steps, data["cluster_time_steps"]
+            )
+        ):
+            raise ValueError(
+                "checkpoint clustering does not match the rebuilt scenario; "
+                "was the spec edited?"
+            )
+        solver.dofs = dofs.copy()
+        solver.time = float(meta["time"])
+        solver.n_element_updates = int(meta["n_element_updates"])
+        self.cycles_done = int(meta["cycles_done"])
+        self.wall_s = float(meta.get("wall_s", 0.0))
+        if isinstance(solver, ClusteredLtsSolver):
+            for cluster, step_index in zip(solver.clusters, data["step_index"]):
+                cluster.step_index = int(step_index)
+            solver.buffers.b1 = data["b1"].copy()
+            solver.buffers.b2 = data["b2"].copy()
+            solver.buffers.b3 = data["b3"].copy()
+        if self.receivers is not None:
+            names = [r.name for r in self.receivers.receivers]
+            if names != meta["receiver_names"]:
+                raise ValueError("checkpoint receivers do not match the scenario")
+            for i, receiver in enumerate(self.receivers.receivers):
+                times = data[f"rec{i}_times"]
+                samples = data[f"rec{i}_samples"]
+                receiver.times = [float(t) for t in times]
+                receiver.samples = [np.asarray(row) for row in samples]
+
+
+def measure_update_cost(setup: ScenarioSetup, n_cycles: int = 10) -> float:
+    """Wall-clock seconds per element update of a single-cluster GTS run.
+
+    The probe behind per-kernel cost comparisons (e.g. the Fig. 9 "cost of
+    anelasticity"): every element advances at the mesh's dt_min for
+    ``n_cycles`` steps, so the ratio of two probes isolates the kernel cost.
+    """
+    spec = setup.spec.with_overrides(solver="gts", n_clusters=1, lam=1.0, n_cycles=n_cycles)
+    runner = ScenarioRunner(spec, setup=setup, clustering=setup.clustering(1, lam=1.0))
+    summary = runner.run()
+    return summary["wall_s"] / summary["element_updates"]

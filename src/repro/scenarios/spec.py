@@ -1,0 +1,514 @@
+"""Declarative scenario specifications.
+
+The paper's preprocessing pipeline (Sec. VI, Fig. 8) turns "a velocity model
+and a handful of user rules" into a ready-to-run clustered-LTS simulation.
+:class:`ScenarioSpec` is exactly that handful of user rules, written down as
+a validated, serialisable value object:
+
+* the domain (box extent, optional topography),
+* the meshing rule (characteristic edge lengths with per-layer refinement,
+  or the elements-per-wavelength rule),
+* the velocity model (named kinds with free parameters),
+* material options (anelasticity, relaxation mechanisms, constant-Q band),
+* the seismic source and its source time function, the receivers, and an
+  optional analytic initial condition,
+* the LTS clustering policy (number of clusters, lambda or grid search),
+* the solver configuration (GTS / clustered LTS / legacy-LTS accounting,
+  number of fused simulations, flux, CFL factor), and
+* the run duration and checkpoint cadence.
+
+Specs round-trip losslessly through ``to_dict``/``from_dict`` and JSON,
+which is what the registry, the CLI and the checkpoint files rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+
+__all__ = [
+    "DomainSpec",
+    "RefinementSpec",
+    "MeshSpec",
+    "VelocityModelSpec",
+    "MaterialSpec",
+    "TimeFunctionSpec",
+    "SourceSpec",
+    "InitialConditionSpec",
+    "ClusteringSpec",
+    "SolverSpec",
+    "PreprocessingSpec",
+    "RunSpec",
+    "ScenarioSpec",
+    "SOLVER_KINDS",
+    "VELOCITY_MODEL_KINDS",
+    "TIME_FUNCTION_KINDS",
+    "SOURCE_KINDS",
+    "INITIAL_CONDITION_KINDS",
+    "MESH_MODES",
+    "TOPOGRAPHY_KINDS",
+]
+
+SOLVER_KINDS = ("gts", "lts", "legacy-lts")
+VELOCITY_MODEL_KINDS = ("loh3", "la_habra_basin", "homogeneous", "layered")
+TIME_FUNCTION_KINDS = ("ricker", "gaussian_derivative", "smoothed_step")
+SOURCE_KINDS = ("moment_tensor", "point_force")
+INITIAL_CONDITION_KINDS = ("gaussian_pulse", "plane_wave")
+MESH_MODES = ("characteristic", "wavelength")
+TOPOGRAPHY_KINDS = ("none", "sinusoidal")
+
+
+def _floats(values) -> tuple[float, ...]:
+    return tuple(float(v) for v in values)
+
+
+def _json_default(value):
+    # numpy scalars and arrays expose tolist(); anything else is a real error
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not JSON serialisable")
+
+
+def _normalized_params(params: dict) -> dict:
+    """Normalise a free-form parameter dict to JSON-native values.
+
+    Guarantees that a spec compares equal to itself after a JSON round-trip
+    (tuples become lists, numpy scalars become floats/ints).
+    """
+    return json.loads(json.dumps(params, default=_json_default))
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """The (box) simulation domain ``x0 < x1, y0 < y1, z0 < z1`` (z up)."""
+
+    extent: tuple[float, float, float, float, float, float]
+    topography: str = "none"
+    topography_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extent", _floats(self.extent))
+        if len(self.extent) != 6:
+            raise ValueError("extent must be (x0, x1, y0, y1, z0, z1)")
+        x0, x1, y0, y1, z0, z1 = self.extent
+        if x1 <= x0 or y1 <= y0 or z1 <= z0:
+            raise ValueError("domain extent must have positive volume")
+        if self.topography not in TOPOGRAPHY_KINDS:
+            raise ValueError(f"topography must be one of {TOPOGRAPHY_KINDS}")
+
+
+@dataclass(frozen=True)
+class RefinementSpec:
+    """Refine the vertical edge length by ``divide_by`` for ``z > z_above``."""
+
+    z_above: float
+    divide_by: float
+
+    def __post_init__(self) -> None:
+        if self.divide_by <= 0:
+            raise ValueError("refinement factor must be positive")
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Velocity-aware meshing rules (step 1 of the pipeline, Fig. 8).
+
+    ``characteristic`` mode prescribes a base vertical edge length plus
+    per-layer refinements; ``wavelength`` mode derives edge lengths from the
+    velocity model via the elements-per-wavelength rule.
+    """
+
+    mode: str = "characteristic"
+    characteristic_length: float = 2000.0
+    refinements: tuple[RefinementSpec, ...] = ()
+    max_frequency: float = 1.0
+    elements_per_wavelength: float = 2.0
+    horizontal_factor: float = 1.0
+    jitter: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "refinements",
+            tuple(
+                r if isinstance(r, RefinementSpec) else RefinementSpec(**r)
+                for r in self.refinements
+            ),
+        )
+        if self.mode not in MESH_MODES:
+            raise ValueError(f"mesh mode must be one of {MESH_MODES}")
+        if self.characteristic_length <= 0:
+            raise ValueError("characteristic length must be positive")
+        if self.max_frequency <= 0:
+            raise ValueError("max frequency must be positive")
+        if self.elements_per_wavelength <= 0:
+            raise ValueError("elements per wavelength must be positive")
+        if self.horizontal_factor <= 0:
+            raise ValueError("horizontal factor must be positive")
+        if not 0.0 <= self.jitter < 0.5:
+            raise ValueError("jitter must lie in [0, 0.5)")
+
+
+@dataclass(frozen=True)
+class VelocityModelSpec:
+    """A named velocity model kind plus its free parameters.
+
+    Kinds: ``loh3`` (the published layer-over-halfspace model),
+    ``la_habra_basin`` (synthetic CVM stand-in; params ``min_vs``,
+    ``basin_vs``, ``basin_max_depth``, ...), ``homogeneous`` (params ``rho``,
+    ``vp``, ``vs`` and optional ``qp``/``qs``), ``layered`` (param
+    ``layers``: a list of layer dicts).
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in VELOCITY_MODEL_KINDS:
+            raise ValueError(f"velocity model kind must be one of {VELOCITY_MODEL_KINDS}")
+        object.__setattr__(self, "params", _normalized_params(self.params))
+        if self.kind == "homogeneous":
+            for key in ("rho", "vp", "vs"):
+                if key not in self.params:
+                    raise ValueError(f"homogeneous model needs parameter {key!r}")
+        if self.kind == "layered" and not self.params.get("layers"):
+            raise ValueError("layered model needs a non-empty 'layers' parameter")
+
+
+@dataclass(frozen=True)
+class MaterialSpec:
+    """Material options: anelasticity and the constant-Q fit."""
+
+    anelastic: bool = True
+    n_mechanisms: int = 3
+    frequency_band: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.frequency_band is not None:
+            object.__setattr__(self, "frequency_band", _floats(self.frequency_band))
+            lo, hi = self.frequency_band
+            if lo <= 0 or hi <= lo:
+                raise ValueError("frequency band must be 0 < lo < hi")
+        if self.n_mechanisms < 0:
+            raise ValueError("n_mechanisms must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimeFunctionSpec:
+    """A named source time function (``ricker``, ``gaussian_derivative``,
+    ``smoothed_step``) with its parameters."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in TIME_FUNCTION_KINDS:
+            raise ValueError(f"time function kind must be one of {TIME_FUNCTION_KINDS}")
+        object.__setattr__(self, "params", _normalized_params(self.params))
+
+    def build(self):
+        from ..source.time_functions import GaussianDerivative, RickerWavelet, SmoothedStep
+
+        cls = {
+            "ricker": RickerWavelet,
+            "gaussian_derivative": GaussianDerivative,
+            "smoothed_step": SmoothedStep,
+        }[self.kind]
+        return cls(**self.params)
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A kinematic point source: moment tensor or single force."""
+
+    kind: str
+    location: tuple[float, float, float]
+    time_function: TimeFunctionSpec
+    moment_tensor: tuple[tuple[float, float, float], ...] | None = None
+    force: tuple[float, float, float] | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "location", _floats(self.location))
+        if isinstance(self.time_function, dict):
+            object.__setattr__(self, "time_function", TimeFunctionSpec(**self.time_function))
+        if self.kind not in SOURCE_KINDS:
+            raise ValueError(f"source kind must be one of {SOURCE_KINDS}")
+        if len(self.location) != 3:
+            raise ValueError("source location must be a 3-vector")
+        if self.kind == "moment_tensor":
+            if self.moment_tensor is None:
+                raise ValueError("moment_tensor source needs a moment tensor")
+            object.__setattr__(
+                self, "moment_tensor", tuple(_floats(row) for row in self.moment_tensor)
+            )
+            if len(self.moment_tensor) != 3 or any(len(r) != 3 for r in self.moment_tensor):
+                raise ValueError("moment tensor must be 3x3")
+        if self.kind == "point_force":
+            if self.force is None:
+                raise ValueError("point_force source needs a force vector")
+            object.__setattr__(self, "force", _floats(self.force))
+            if len(self.force) != 3:
+                raise ValueError("force must be a 3-vector")
+
+    def build(self):
+        import numpy as np
+
+        from ..source.moment_tensor import MomentTensorSource, PointForceSource
+
+        stf = self.time_function.build()
+        if self.kind == "moment_tensor":
+            return MomentTensorSource(
+                location=np.asarray(self.location),
+                moment_tensor=np.asarray(self.moment_tensor),
+                time_function=stf,
+            )
+        return PointForceSource(
+            location=np.asarray(self.location),
+            force=np.asarray(self.force),
+            time_function=stf,
+        )
+
+
+@dataclass(frozen=True)
+class InitialConditionSpec:
+    """An analytic initial condition projected onto the DG basis.
+
+    ``gaussian_pulse``: params ``component`` (0-8), ``width``, ``amplitude``
+    and optional ``center`` (defaults to the domain centre).
+    ``plane_wave``: an exact elastic plane P wave along x; params
+    ``amplitude``, ``wavelength``.
+    """
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in INITIAL_CONDITION_KINDS:
+            raise ValueError(f"initial condition kind must be one of {INITIAL_CONDITION_KINDS}")
+        object.__setattr__(self, "params", _normalized_params(self.params))
+
+
+@dataclass(frozen=True)
+class ClusteringSpec:
+    """LTS clustering policy: ``lam = None`` runs the lambda grid search."""
+
+    n_clusters: int = 3
+    lam: float | None = None
+    increment: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("need at least one cluster")
+        if self.lam is not None and not 0.5 < self.lam <= 1.0:
+            raise ValueError("lambda must lie in (0.5, 1]")
+        if not 0.0 < self.increment <= 0.5:
+            raise ValueError("lambda increment must lie in (0, 0.5]")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Solver kind and kernel options.
+
+    ``legacy-lts`` runs the same clustered driver but reports the legacy
+    (derivative-communicating) scheme's communication volume in the run
+    summary, for the Sec. IV comparison.
+    """
+
+    kind: str = "lts"
+    n_fused: int = 0
+    flux: str = "rusanov"
+    cfl: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOLVER_KINDS:
+            raise ValueError(f"solver kind must be one of {SOLVER_KINDS}")
+        if self.n_fused < 0:
+            raise ValueError("n_fused must be non-negative")
+        if self.flux not in ("rusanov", "godunov"):
+            raise ValueError("flux must be 'rusanov' or 'godunov'")
+        if not 0.0 < self.cfl <= 1.0:
+            raise ValueError("cfl must lie in (0, 1]")
+
+
+@dataclass(frozen=True)
+class PreprocessingSpec:
+    """Optional pipeline postprocessing: weighted partitioning + reordering."""
+
+    reorder: bool = False
+    n_partitions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_partitions < 1:
+            raise ValueError("need at least one partition")
+
+    @property
+    def active(self) -> bool:
+        return self.reorder or self.n_partitions > 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Run duration: either ``n_cycles`` macro cycles or a target time."""
+
+    n_cycles: int | None = 4
+    t_end: float | None = None
+    checkpoint_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.n_cycles is None) == (self.t_end is None):
+            raise ValueError("specify exactly one of n_cycles and t_end")
+        if self.n_cycles is not None and self.n_cycles < 1:
+            raise ValueError("n_cycles must be positive")
+        if self.t_end is not None and self.t_end <= 0:
+            raise ValueError("t_end must be positive")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, validated description of one runnable scenario."""
+
+    name: str
+    description: str
+    domain: DomainSpec
+    mesh: MeshSpec
+    velocity_model: VelocityModelSpec
+    material: MaterialSpec = MaterialSpec()
+    order: int = 4
+    source: SourceSpec | None = None
+    receivers: tuple[tuple[str, tuple[float, float, float]], ...] = ()
+    initial_condition: InitialConditionSpec | None = None
+    clustering: ClusteringSpec = ClusteringSpec()
+    solver: SolverSpec = SolverSpec()
+    preprocessing: PreprocessingSpec = PreprocessingSpec()
+    run: RunSpec = RunSpec()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.order < 2:
+            raise ValueError("order must be >= 2")
+        object.__setattr__(
+            self,
+            "receivers",
+            tuple((str(name), _floats(loc)) for name, loc in self.receivers),
+        )
+        for name, loc in self.receivers:
+            if len(loc) != 3:
+                raise ValueError(f"receiver {name!r} location must be a 3-vector")
+        if self.source is None and self.initial_condition is None:
+            raise ValueError("scenario needs a source or an initial condition")
+
+    # -- convenience accessors -----------------------------------------
+    @property
+    def receiver_locations(self) -> dict:
+        import numpy as np
+
+        return {name: np.asarray(loc, dtype=np.float64) for name, loc in self.receivers}
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-native nested-dict form (tuples become lists)."""
+        return json.loads(self.to_json())
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(asdict(self), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        data = dict(data)
+        data["domain"] = DomainSpec(**data["domain"])
+        data["mesh"] = MeshSpec(**data["mesh"])
+        data["velocity_model"] = VelocityModelSpec(**data["velocity_model"])
+        data["material"] = MaterialSpec(**data["material"])
+        if data.get("source") is not None:
+            data["source"] = SourceSpec(**data["source"])
+        if data.get("initial_condition") is not None:
+            data["initial_condition"] = InitialConditionSpec(**data["initial_condition"])
+        data["receivers"] = tuple((name, tuple(loc)) for name, loc in data.get("receivers", ()))
+        data["clustering"] = ClusteringSpec(**data["clustering"])
+        data["solver"] = SolverSpec(**data["solver"])
+        data["preprocessing"] = PreprocessingSpec(**data.get("preprocessing", {}))
+        data["run"] = RunSpec(**data["run"])
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- derived specs -------------------------------------------------
+    def with_overrides(
+        self,
+        *,
+        order: int | None = None,
+        n_clusters: int | None = None,
+        lam: float | None | str = "keep",
+        solver: str | None = None,
+        n_fused: int | None = None,
+        flux: str | None = None,
+        n_cycles: int | None = None,
+        t_end: float | None = None,
+        checkpoint_every: int | None | str = "keep",
+        n_partitions: int | None = None,
+        reorder: bool | None = None,
+        seed: int | None = None,
+    ) -> "ScenarioSpec":
+        """A copy of this spec with common knobs changed (CLI flags)."""
+        spec = self
+        if order is not None:
+            spec = replace(spec, order=order)
+        clustering_updates = {}
+        if n_clusters is not None:
+            clustering_updates["n_clusters"] = n_clusters
+        if lam != "keep":
+            clustering_updates["lam"] = lam
+        if clustering_updates:
+            spec = replace(spec, clustering=replace(spec.clustering, **clustering_updates))
+        solver_updates = {}
+        if solver is not None:
+            solver_updates["kind"] = solver
+        if n_fused is not None:
+            solver_updates["n_fused"] = n_fused
+        if flux is not None:
+            solver_updates["flux"] = flux
+        if solver_updates:
+            spec = replace(spec, solver=replace(spec.solver, **solver_updates))
+        run_updates = {}
+        if n_cycles is not None:
+            run_updates["n_cycles"] = n_cycles
+            run_updates["t_end"] = None
+        if t_end is not None:
+            run_updates["t_end"] = t_end
+            run_updates["n_cycles"] = None
+        if checkpoint_every != "keep":
+            run_updates["checkpoint_every"] = checkpoint_every
+        if run_updates:
+            spec = replace(spec, run=replace(spec.run, **run_updates))
+        pre_updates = {}
+        if n_partitions is not None:
+            pre_updates["n_partitions"] = n_partitions
+        if reorder is not None:
+            pre_updates["reorder"] = reorder
+        if pre_updates:
+            spec = replace(spec, preprocessing=replace(spec.preprocessing, **pre_updates))
+        if seed is not None:
+            spec = replace(spec, mesh=replace(spec.mesh, seed=seed))
+        return spec
+
+    def smoke(self) -> "ScenarioSpec":
+        """A coarsened, two-cycle variant for smoke tests and CI."""
+        mesh = self.mesh
+        if mesh.mode == "characteristic":
+            mesh = replace(mesh, characteristic_length=1.5 * mesh.characteristic_length)
+        else:
+            mesh = replace(mesh, max_frequency=0.75 * mesh.max_frequency)
+        clustering = replace(self.clustering, increment=max(self.clustering.increment, 0.05))
+        return replace(
+            self,
+            order=min(self.order, 3),
+            mesh=mesh,
+            clustering=clustering,
+            run=RunSpec(n_cycles=2, t_end=None, checkpoint_every=None),
+        )

@@ -15,6 +15,10 @@ Two complementary stand-ins are provided:
   graph -- so their behaviour is preserved at full fidelity.
 * :func:`la_habra_setup` builds a small executable basin model (synthetic
   CVM + optional topography) for end-to-end runs of the solver.
+
+The declarative definition of the executable setup lives in the scenario
+registry (:func:`repro.scenarios.registry.la_habra_scenario`); this module
+is the backwards-compatible imperative wrapper around it.
 """
 
 from __future__ import annotations
@@ -26,13 +30,10 @@ import numpy as np
 from ..core.clustering import Clustering, derive_clustering, optimize_lambda
 from ..equations.material import MaterialTable
 from ..kernels.discretization import Discretization
-from ..mesh.generation import layered_box_mesh
-from ..mesh.geometry import cfl_time_steps
-from ..mesh.refinement import elements_per_wavelength_rule
 from ..mesh.tet_mesh import TetMesh
-from ..preprocessing.velocity_model import LaHabraBasinModel
+from ..scenarios.registry import la_habra_scenario
+from ..scenarios.runner import build_setup
 from ..source.moment_tensor import MomentTensorSource
-from ..source.time_functions import GaussianDerivative
 
 __all__ = [
     "PAPER_CLUSTER_COUNTS",
@@ -116,55 +117,22 @@ def la_habra_setup(
     seed: int = 0,
 ) -> LaHabraSetup:
     """Build a scaled, executable La-Habra-like setup (basin + topography)."""
-    model = LaHabraBasinModel(
-        extent=(0.0, extent_m, 0.0, extent_m), min_vs=min_vs, basin_max_depth=0.3 * depth_m
-    )
-    rule = elements_per_wavelength_rule(
-        model.min_shear_velocity, max_frequency, elements_per_wavelength=2.0, order=order
-    )
-
-    def topography(x, y):
-        if not with_topography:
-            return np.zeros_like(x)
-        return 300.0 * np.sin(2 * np.pi * x / extent_m) * np.cos(2 * np.pi * y / extent_m)
-
-    mesh = layered_box_mesh(
-        extent=(0.0, extent_m, 0.0, extent_m, -depth_m, 0.0),
-        edge_length_of_depth=rule,
-        horizontal_edge_length=rule(0.0) * 2.0,
-        jitter=0.15,
-        seed=seed,
-        topography=topography,
-    )
-    materials = MaterialTable.from_velocity_model(model, mesh.centroids)
-    disc = Discretization(
-        mesh,
-        materials,
+    spec = la_habra_scenario(
+        extent_m=extent_m,
+        depth_m=depth_m,
+        max_frequency=max_frequency,
         order=order,
         n_mechanisms=n_mechanisms,
-        frequency_band=(max_frequency / 20.0, 2.0 * max_frequency),
-        flux="rusanov",
+        with_topography=with_topography,
+        min_vs=min_vs,
+        seed=seed,
     )
-    time_steps = cfl_time_steps(mesh.insphere_radii, materials.max_wave_speed, order)
-
-    # thrust-like double couple at mid depth (the 2014 event was an oblique thrust)
-    moment = np.zeros((3, 3))
-    moment[0, 2] = moment[2, 0] = 7.1e16  # ~ Mw 5.1
-    source = MomentTensorSource(
-        location=np.array([0.5 * extent_m, 0.5 * extent_m, -0.6 * depth_m]),
-        moment_tensor=moment,
-        time_function=GaussianDerivative(sigma=0.4 / max_frequency, t0=1.0 / max_frequency),
-    )
-    receivers = {
-        "CE_14026": np.array([0.62 * extent_m, 0.55 * extent_m, -1.0]),
-        "CI_Q0035": np.array([0.35 * extent_m, 0.70 * extent_m, -1.0]),
-        "CI_Q0057": np.array([0.75 * extent_m, 0.30 * extent_m, -1.0]),
-    }
+    setup = build_setup(spec)
     return LaHabraSetup(
-        mesh=mesh,
-        materials=materials,
-        disc=disc,
-        source=source,
-        receiver_locations=receivers,
-        time_steps=time_steps,
+        mesh=setup.mesh,
+        materials=setup.materials,
+        disc=setup.disc,
+        source=setup.source,
+        receiver_locations=setup.receiver_locations,
+        time_steps=setup.time_steps,
     )

@@ -9,6 +9,10 @@ coarsens the mesh while keeping everything that matters for the LTS
 evaluation: the exact material contrast (and therefore the 1.732x refinement
 of the layer), the bimodal time-step distribution, the point source below
 the layer and receivers at the free surface.
+
+The declarative definition of this workload lives in the scenario registry
+(:func:`repro.scenarios.registry.loh3_scenario`); this module is the
+backwards-compatible imperative wrapper around it.
 """
 
 from __future__ import annotations
@@ -20,12 +24,10 @@ import numpy as np
 from ..core.clustering import Clustering, derive_clustering, optimize_lambda
 from ..equations.material import MaterialTable
 from ..kernels.discretization import Discretization
-from ..mesh.generation import layered_box_mesh
-from ..mesh.geometry import cfl_time_steps
 from ..mesh.tet_mesh import TetMesh
-from ..preprocessing.velocity_model import loh3_model
+from ..scenarios.registry import loh3_scenario
+from ..scenarios.runner import build_setup
 from ..source.moment_tensor import MomentTensorSource
-from ..source.time_functions import RickerWavelet
 
 __all__ = ["Loh3Setup", "loh3_setup"]
 
@@ -68,7 +70,7 @@ def loh3_setup(
     source_frequency: float = 1.0,
     seed: int = 0,
 ) -> Loh3Setup:
-    """Build a scaled LOH.3 setup.
+    """Build a scaled LOH.3 setup (see :func:`loh3_scenario` for the spec).
 
     Parameters
     ----------
@@ -82,53 +84,23 @@ def loh3_setup(
         ``False`` drops the quality factors (used for the "cost of
         anelasticity" comparison of Sec. VII-B).
     """
-    model = loh3_model()
-    layer_length = characteristic_length / 1.732
-
-    mesh = layered_box_mesh(
-        extent=(0.0, extent_m, 0.0, extent_m, -extent_m, 0.0),
-        edge_length_of_depth=lambda z: layer_length if z > -1000.0 else characteristic_length,
-        horizontal_edge_length=characteristic_length,
+    spec = loh3_scenario(
+        extent_m=extent_m,
+        characteristic_length=characteristic_length,
+        order=order,
+        n_mechanisms=n_mechanisms,
         jitter=jitter,
+        flux=flux,
+        anelastic=anelastic,
+        source_frequency=source_frequency,
         seed=seed,
     )
-    materials = MaterialTable.from_velocity_model(model, mesh.centroids)
-    if not anelastic:
-        materials = MaterialTable(
-            rho=materials.rho, vp=materials.vp, vs=materials.vs
-        )
-    disc = Discretization(
-        mesh,
-        materials,
-        order=order,
-        n_mechanisms=n_mechanisms if (anelastic and materials.is_attenuating()) else 0,
-        frequency_band=(0.1 * source_frequency, 10.0 * source_frequency),
-        flux=flux,
-    )
-    time_steps = cfl_time_steps(mesh.insphere_radii, materials.max_wave_speed, order)
-
-    # LOH.3 point source: strike-slip double couple at 2000 m depth (scaled
-    # to stay inside the shrunken domain if necessary)
-    source_depth = min(2000.0, 0.5 * extent_m)
-    moment = np.zeros((3, 3))
-    moment[0, 1] = moment[1, 0] = 1e16
-    source = MomentTensorSource(
-        location=np.array([0.5 * extent_m, 0.5 * extent_m, -source_depth]),
-        moment_tensor=moment,
-        time_function=RickerWavelet(f0=source_frequency, t0=1.2 / source_frequency),
-    )
-
-    # receiver 9 analogue: on the free surface, diagonal offset from the epicentre
-    offset = min(0.3 * extent_m, 3000.0)
-    receivers = {
-        "receiver_9": np.array([0.5 * extent_m + offset, 0.5 * extent_m + 0.66 * offset, -1.0]),
-        "epicentre": np.array([0.5 * extent_m, 0.5 * extent_m, -1.0]),
-    }
+    setup = build_setup(spec)
     return Loh3Setup(
-        mesh=mesh,
-        materials=materials,
-        disc=disc,
-        source=source,
-        receiver_locations=receivers,
-        time_steps=time_steps,
+        mesh=setup.mesh,
+        materials=setup.materials,
+        disc=setup.disc,
+        source=setup.source,
+        receiver_locations=setup.receiver_locations,
+        time_steps=setup.time_steps,
     )

@@ -1,0 +1,250 @@
+"""Integration tests of the scenario runner, checkpoint/restart and the CLI.
+
+The central correctness claims of the subsystem:
+
+* through the runner, single-cluster LTS reproduces GTS bit-for-bit,
+* a run interrupted at a checkpoint and resumed is bit-identical (DOFs and
+  seismograms) to an uninterrupted run, and
+* the CLI drives scenarios end-to-end and writes the run artefacts.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.scenarios import ScenarioRunner, get_scenario
+from repro.scenarios.cli import main as cli_main
+from repro.core.lts_solver import ClusteredLtsSolver
+
+
+@pytest.fixture(scope="module")
+def tiny_plane_wave():
+    """A very small single-cluster scenario (order 2, ~tens of elements)."""
+    return get_scenario(
+        "plane_wave", extent_m=1500.0, characteristic_length=750.0, order=2, n_cycles=3
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_loh3():
+    """A small multi-cluster LOH.3 variant exercising the LTS buffers."""
+    return get_scenario(
+        "loh3",
+        extent_m=4000.0,
+        characteristic_length=2000.0,
+        order=2,
+        n_mechanisms=1,
+        lam=1.0,
+        n_clusters=2,
+        n_cycles=4,
+    )
+
+
+class TestRunnerEquivalence:
+    def test_single_cluster_lts_matches_gts_bit_for_bit(self, tiny_plane_wave):
+        lts = ScenarioRunner(tiny_plane_wave)
+        gts = ScenarioRunner(tiny_plane_wave.with_overrides(solver="gts"))
+        lts.run()
+        gts.run()
+        assert lts.solver.n_element_updates == gts.solver.n_element_updates
+        np.testing.assert_array_equal(lts.solver.dofs, gts.solver.dofs)
+        assert np.abs(lts.solver.dofs).max() > 0.0, "the plane wave must move"
+
+    def test_accounting(self, tiny_plane_wave):
+        runner = ScenarioRunner(tiny_plane_wave)
+        summary = runner.run()
+        n = runner.setup.mesh.n_elements
+        assert summary["n_elements"] == n
+        assert summary["element_updates"] == n * summary["cycles"]
+        assert summary["wall_s"] > 0.0
+        assert summary["t_end"] == pytest.approx(summary["cycles"] * summary["macro_dt"])
+
+    def test_legacy_lts_reports_communication_volumes(self, tiny_plane_wave):
+        spec = tiny_plane_wave.with_overrides(solver="legacy-lts", n_cycles=1)
+        summary = ScenarioRunner(spec).run()
+        assert summary["legacy_comm"]["reduction_vs_derivatives"] >= 1.0
+
+    def test_preprocessing_reorder_keeps_physics(self, tiny_loh3):
+        plain = ScenarioRunner(tiny_loh3)
+        reordered = ScenarioRunner(tiny_loh3.with_overrides(n_partitions=2, reorder=True))
+        assert reordered.preprocessed is not None
+        assert reordered.summary()["n_partitions"] == 2
+        plain.run()
+        reordered.run()
+        # same element updates; the reordered run is a permutation of the same mesh
+        assert plain.solver.n_element_updates == reordered.solver.n_element_updates
+        assert reordered.setup.mesh.n_elements == plain.setup.mesh.n_elements
+        # elements are sorted by (partition, cluster)
+        parts = reordered.preprocessed.partitions
+        assert np.all(np.diff(parts) >= 0)
+
+    def test_explicit_clustering_with_reorder_rejected(self, tiny_loh3):
+        from repro.scenarios import build_setup
+
+        setup = build_setup(tiny_loh3)
+        with pytest.raises(ValueError, match="explicit clustering"):
+            ScenarioRunner(
+                tiny_loh3.with_overrides(n_partitions=2, reorder=True),
+                setup=setup,
+                clustering=setup.clustering(),
+            )
+
+
+class TestCheckpointRestart:
+    def test_resume_is_bit_identical(self, tiny_loh3, tmp_path):
+        path = tmp_path / "run.ckpt.npz"
+
+        full = ScenarioRunner(tiny_loh3)
+        full.run()
+        assert isinstance(full.solver, ClusteredLtsSolver)
+
+        interrupted = ScenarioRunner(tiny_loh3)
+        while interrupted.cycles_done < 2:
+            interrupted.step_cycle()
+        interrupted.save_checkpoint(path)
+        del interrupted
+
+        resumed = ScenarioRunner.resume(path)
+        assert resumed.cycles_done == 2
+        resumed.run()
+
+        np.testing.assert_array_equal(resumed.solver.dofs, full.solver.dofs)
+        assert resumed.solver.time == full.solver.time
+        assert resumed.solver.n_element_updates == full.solver.n_element_updates
+        for name in ("receiver_9", "epicentre"):
+            t_full, v_full = full.receivers[name].seismogram()
+            t_res, v_res = resumed.receivers[name].seismogram()
+            np.testing.assert_array_equal(t_res, t_full)
+            np.testing.assert_array_equal(v_res, v_full)
+
+    def test_resume_gts(self, tiny_plane_wave, tmp_path):
+        path = tmp_path / "gts.ckpt.npz"
+        spec = tiny_plane_wave.with_overrides(solver="gts")
+        full = ScenarioRunner(spec)
+        full.run()
+
+        interrupted = ScenarioRunner(spec)
+        interrupted.step_cycle()
+        interrupted.save_checkpoint(path)
+        resumed = ScenarioRunner.resume(path)
+        resumed.run()
+        np.testing.assert_array_equal(resumed.solver.dofs, full.solver.dofs)
+
+    def test_resume_restores_explicit_clustering(self, tiny_loh3, tmp_path):
+        """A runner built with a non-spec clustering (e.g. a single-cluster
+        GTS baseline) must resume with that exact clustering, not re-derive
+        the spec's."""
+        from repro.scenarios import build_setup
+
+        path = tmp_path / "explicit.ckpt.npz"
+        setup = build_setup(tiny_loh3)
+        clustering = setup.clustering(1, lam=1.0)  # spec says 2 clusters
+        spec = tiny_loh3.with_overrides(solver="gts")
+
+        full = ScenarioRunner(spec, setup=setup, clustering=clustering)
+        full.run()
+
+        interrupted = ScenarioRunner(spec, setup=setup, clustering=clustering)
+        interrupted.step_cycle()
+        interrupted.save_checkpoint(path)
+        resumed = ScenarioRunner.resume(path)
+        assert resumed.clustering.n_clusters == 1
+        resumed.run()
+        np.testing.assert_array_equal(resumed.solver.dofs, full.solver.dofs)
+
+    def test_checkpoint_path_without_npz_suffix(self, tiny_plane_wave, tmp_path):
+        path = tmp_path / "my.ckpt"  # savez would silently write my.ckpt.npz
+        runner = ScenarioRunner(tiny_plane_wave)
+        runner.step_cycle()
+        runner.save_checkpoint(path)
+        assert path.exists()
+        resumed = ScenarioRunner.resume(path)
+        assert resumed.cycles_done == 1
+
+    def test_mismatched_checkpoint_rejected(self, tiny_plane_wave, tmp_path):
+        path = tmp_path / "bad.ckpt.npz"
+        runner = ScenarioRunner(tiny_plane_wave)
+        runner.step_cycle()
+        runner.save_checkpoint(path)
+        # corrupt the stored spec so the rebuilt mesh no longer matches
+        data = dict(np.load(path))
+        meta = json.loads(str(data["meta"]))
+        meta["spec"]["mesh"]["characteristic_length"] = 300.0
+        data["meta"] = json.dumps(meta)
+        np.savez_compressed(path, **data)
+        with pytest.raises(ValueError, match="does not match"):
+            ScenarioRunner.resume(path)
+
+
+class TestOutputs:
+    def test_seismograms_of_an_unrun_scenario_are_empty_csvs(self, tiny_plane_wave, tmp_path):
+        from repro.scenarios import write_outputs
+
+        runner = ScenarioRunner(tiny_plane_wave)  # not run: no samples yet
+        written = write_outputs(runner, tmp_path)
+        csv = written["seismograms"][0]
+        assert csv.read_text().strip() == "time,vx,vy,vz"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "loh3" in out and "plane_wave" in out
+
+    def test_describe(self, capsys):
+        assert cli_main(["describe", "bimaterial_slab"]) == 0
+        out = capsys.readouterr().out
+        assert "default spec" in out
+
+    def test_run_writes_outputs(self, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        code = cli_main(
+            [
+                "run",
+                "plane_wave",
+                "--set", "extent_m=1500.0",
+                "--set", "characteristic_length=750.0",
+                "--order", "2",
+                "--cycles", "2",
+                "--output-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        summary = json.loads((out_dir / "run_summary.json").read_text())
+        assert summary["scenario"] == "plane_wave"
+        assert summary["cycles"] == 2
+        csv = out_dir / "seismogram_centre.csv"
+        assert csv.exists()
+        lines = csv.read_text().strip().splitlines()
+        assert lines[0] == "time,vx,vy,vz"
+        assert len(lines) == 1 + 2  # header + one sample per cycle (single cluster)
+
+    def test_run_spec_file_round_trip(self, tmp_path):
+        spec = get_scenario(
+            "plane_wave", extent_m=1500.0, characteristic_length=750.0, order=2, n_cycles=1
+        )
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(spec.to_json())
+        assert cli_main(["run", "--spec", str(spec_file), "--quiet"]) == 0
+
+    def test_run_checkpoint_and_resume(self, tmp_path, capsys):
+        ckpt = tmp_path / "cli.ckpt.npz"
+        args = [
+            "run",
+            "plane_wave",
+            "--set", "extent_m=1500.0",
+            "--set", "characteristic_length=750.0",
+            "--order", "2",
+            "--cycles", "2",
+            "--checkpoint", str(ckpt),
+            "--quiet",
+        ]
+        assert cli_main(args) == 0
+        assert ckpt.exists()
+        # the finished run's checkpoint resumes as a no-op continuation
+        assert cli_main(["resume", str(ckpt), "--quiet"]) == 0
+
+    def test_run_smoke_flag(self, capsys):
+        assert cli_main(["run", "homogeneous_halfspace", "--smoke", "--quiet"]) == 0

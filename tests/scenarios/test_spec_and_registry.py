@@ -1,0 +1,164 @@
+"""Spec validation, serialisation round-trips and the scenario registry."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    ClusteringSpec,
+    DomainSpec,
+    MeshSpec,
+    RunSpec,
+    ScenarioSpec,
+    SolverSpec,
+    SourceSpec,
+    TimeFunctionSpec,
+    VelocityModelSpec,
+    describe_scenario,
+    get_scenario,
+    scenario_names,
+)
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios_registered(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for expected in (
+            "loh3",
+            "la_habra",
+            "homogeneous_halfspace",
+            "bimaterial_slab",
+            "graded_basin",
+            "plane_wave",
+        ):
+            assert expected in names
+
+    def test_every_factory_builds_a_valid_spec(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert isinstance(spec, ScenarioSpec)
+            assert spec.name == name
+
+    def test_factory_overrides(self):
+        spec = get_scenario("bimaterial_slab", contrast=3.0, n_clusters=2)
+        assert spec.clustering.n_clusters == 2
+        assert "3" in spec.description
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="loh3"):
+            get_scenario("does_not_exist")
+
+    def test_describe(self):
+        text = describe_scenario("loh3")
+        assert "loh3" in text
+        assert "LOH.3" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", [n for n in scenario_names()])
+    def test_dict_round_trip(self, name):
+        spec = get_scenario(name)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", [n for n in scenario_names()])
+    def test_json_round_trip(self, name):
+        spec = get_scenario(name)
+        text = spec.to_json(indent=2)
+        json.loads(text)  # valid JSON
+        assert ScenarioSpec.from_json(text) == spec
+
+
+class TestValidation:
+    def _minimal(self, **kwargs):
+        base = dict(
+            name="t",
+            description="",
+            domain=DomainSpec(extent=(0.0, 1.0, 0.0, 1.0, -1.0, 0.0)),
+            mesh=MeshSpec(characteristic_length=0.5),
+            velocity_model=VelocityModelSpec(
+                kind="homogeneous", params={"rho": 1.0, "vp": 2.0, "vs": 1.0}
+            ),
+            source=SourceSpec(
+                kind="point_force",
+                location=(0.5, 0.5, -0.5),
+                force=(0.0, 0.0, 1.0),
+                time_function=TimeFunctionSpec(kind="ricker", params={"f0": 1.0, "t0": 1.0}),
+            ),
+        )
+        base.update(kwargs)
+        return ScenarioSpec(**base)
+
+    def test_minimal_spec_is_valid(self):
+        self._minimal()
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            DomainSpec(extent=(0.0, 0.0, 0.0, 1.0, -1.0, 0.0))
+
+    def test_bad_solver_kind_rejected(self):
+        with pytest.raises(ValueError, match="solver kind"):
+            SolverSpec(kind="implicit")
+
+    def test_bad_lambda_rejected(self):
+        with pytest.raises(ValueError, match="lambda"):
+            ClusteringSpec(lam=0.4)
+
+    def test_run_needs_exactly_one_duration(self):
+        with pytest.raises(ValueError):
+            RunSpec(n_cycles=2, t_end=1.0)
+        with pytest.raises(ValueError):
+            RunSpec(n_cycles=None, t_end=None)
+
+    def test_numpy_params_are_normalised(self):
+        import numpy as np
+
+        spec = VelocityModelSpec(
+            kind="homogeneous",
+            params={"rho": np.int64(2700), "vp": np.float32(6000.0), "vs": 3464.0},
+        )
+        assert spec.params == {"rho": 2700, "vp": 6000.0, "vs": 3464.0}
+
+    def test_homogeneous_model_needs_velocities(self):
+        with pytest.raises(ValueError, match="vs"):
+            VelocityModelSpec(kind="homogeneous", params={"rho": 1.0, "vp": 2.0})
+
+    def test_scenario_needs_source_or_initial_condition(self):
+        with pytest.raises(ValueError, match="source or an initial condition"):
+            self._minimal(source=None)
+
+    def test_moment_tensor_shape_enforced(self):
+        with pytest.raises(ValueError):
+            SourceSpec(
+                kind="moment_tensor",
+                location=(0.0, 0.0, 0.0),
+                moment_tensor=((1.0, 0.0), (0.0, 1.0)),
+                time_function=TimeFunctionSpec(kind="ricker", params={"f0": 1.0, "t0": 1.0}),
+            )
+
+
+class TestDerivedSpecs:
+    def test_with_overrides(self):
+        spec = get_scenario("loh3")
+        out = spec.with_overrides(
+            order=2, n_clusters=2, lam=0.9, solver="gts", n_fused=2, t_end=1.5
+        )
+        assert out.order == 2
+        assert out.clustering.n_clusters == 2
+        assert out.clustering.lam == 0.9
+        assert out.solver.kind == "gts"
+        assert out.solver.n_fused == 2
+        assert out.run.t_end == 1.5 and out.run.n_cycles is None
+        # the original is untouched
+        assert spec.order == 4 and spec.solver.kind == "lts"
+
+    def test_smoke_coarsens_and_shortens(self):
+        spec = get_scenario("loh3")
+        smoke = spec.smoke()
+        assert smoke.run.n_cycles == 2
+        assert smoke.order <= 3
+        assert smoke.mesh.characteristic_length > spec.mesh.characteristic_length
+
+    def test_smoke_wavelength_mode(self):
+        smoke = get_scenario("la_habra").smoke()
+        assert smoke.mesh.max_frequency < get_scenario("la_habra").mesh.max_frequency
