@@ -1,0 +1,83 @@
+"""Distributed execution engine: throughput and halo-exchange overhead.
+
+Runs the same scaled LOH.3 configuration through the single-rank runner and
+the 2- and 4-rank distributed engine.  The engine must reproduce the
+single-rank DOFs bit for bit (asserted), and the recorded wall time /
+element-update throughput / communication bytes feed the cross-PR perf
+trajectory (``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scenarios import ScenarioRunner, get_scenario, make_runner
+
+from conftest import record_bench, record_result
+
+
+def _spec(n_ranks: int = 1):
+    spec = get_scenario(
+        "loh3",
+        extent_m=6000.0,
+        characteristic_length=1500.0,
+        order=3,
+        n_mechanisms=2,
+        lam=1.0,
+        n_clusters=3,
+        n_cycles=2,
+    )
+    return spec.with_overrides(n_ranks=n_ranks) if n_ranks > 1 else spec
+
+
+def test_distributed_throughput_and_bit_identity(benchmark):
+    single = ScenarioRunner(_spec())
+    single_summary = single.run()
+
+    def run_two_ranks():
+        runner = make_runner(_spec(2))
+        return runner, runner.run()
+
+    two, two_summary = benchmark.pedantic(run_two_ranks, rounds=1, iterations=1)
+    four = make_runner(_spec(4))
+    four_summary = four.run()
+
+    result = {
+        "n_elements": single_summary["n_elements"],
+        "single": {
+            "wall_s": single_summary["wall_s"],
+            "element_updates_per_s": single_summary["element_updates_per_s"],
+        },
+        "ranks2": {
+            "wall_s": two_summary["wall_s"],
+            "element_updates_per_s": two_summary["element_updates_per_s"],
+            "comm_bytes": two_summary["comm"]["n_bytes"],
+            "comm_messages": two_summary["comm"]["n_messages"],
+        },
+        "ranks4": {
+            "wall_s": four_summary["wall_s"],
+            "element_updates_per_s": four_summary["element_updates_per_s"],
+            "comm_bytes": four_summary["comm"]["n_bytes"],
+            "comm_messages": four_summary["comm"]["n_messages"],
+        },
+    }
+    record_result("distributed_engine", result)
+    record_bench(
+        "distributed_2rank_loh3",
+        wall_s=two_summary["wall_s"],
+        element_updates_per_s=two_summary["element_updates_per_s"],
+        comm_bytes=two_summary["comm"]["n_bytes"],
+    )
+    record_bench(
+        "distributed_4rank_loh3",
+        wall_s=four_summary["wall_s"],
+        element_updates_per_s=four_summary["element_updates_per_s"],
+        comm_bytes=four_summary["comm"]["n_bytes"],
+    )
+
+    np.testing.assert_array_equal(two.solver.dofs, single.solver.dofs)
+    np.testing.assert_array_equal(four.solver.dofs, single.solver.dofs)
+    assert two_summary["element_updates"] == single_summary["element_updates"]
+    assert four_summary["element_updates"] == single_summary["element_updates"]
+    # more ranks cut more faces: the measured traffic must grow
+    assert four_summary["comm"]["n_bytes"] > two_summary["comm"]["n_bytes"]

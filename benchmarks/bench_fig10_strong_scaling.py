@@ -19,9 +19,10 @@ from repro.kernels.flops import count_flops_per_element_update
 from repro.mesh.generation import box_mesh
 from repro.parallel.machine_model import strong_scaling_study
 from repro.parallel.partition import element_weights
+from repro.scenarios import get_scenario, make_runner
 from repro.workloads.la_habra import PAPER_LAMBDA, la_habra_time_step_distribution
 
-from conftest import record_result
+from conftest import record_bench, record_result
 
 NODE_COUNTS = [3, 6, 12, 24, 48, 96, 192]
 
@@ -70,3 +71,35 @@ def test_fig10_modelled_strong_scaling(benchmark, loh3_small):
     # and the total modelled time keeps decreasing (strong scaling)
     total_times = [p.total_time for p in points]
     assert total_times[-1] < total_times[0]
+
+
+def test_model_traffic_validated_by_measured_run():
+    """Anchor the scaling model's communication term in measurement: a
+    4-rank distributed run's per-pair traffic must equal the face-local
+    exchange model the study consumes."""
+    spec = get_scenario(
+        "loh3",
+        extent_m=6000.0,
+        characteristic_length=1500.0,
+        order=3,
+        n_mechanisms=2,
+        lam=1.0,
+        n_clusters=3,
+        n_cycles=1,
+    ).with_overrides(n_ranks=4)
+    runner = make_runner(spec)
+    summary = runner.run()
+    comm = summary["comm"]
+
+    record_bench(
+        "fig10_measured_4rank",
+        wall_s=summary["wall_s"],
+        element_updates_per_s=summary["element_updates_per_s"],
+        comm_bytes=comm["n_bytes"],
+        n_ranks=4,
+        per_pair=comm["per_pair"],
+    )
+
+    assert comm["measured_bytes_per_cycle"] == comm["model"]["total_bytes"]
+    for pair, entry in comm["per_pair"].items():
+        assert entry["bytes"] / summary["cycles"] == comm["model"]["per_pair"][pair]

@@ -18,7 +18,7 @@ import pytest
 
 from repro.scenarios import ScenarioRunner
 
-from conftest import record_result
+from conftest import record_bench, record_result
 
 
 N_FUSED = 4  # scaled-down ensemble width (the paper fuses 16 on AVX-512)
@@ -77,6 +77,13 @@ def test_table1_time_to_solution_speedups(benchmark, loh3_small):
         "n_fused": N_FUSED,
     }
     record_result("table1_loh3_single_socket", results)
+    record_bench(
+        "table1_lts_opt",
+        wall_s=time_lts_opt,
+        element_updates_per_s=updates_lts_opt / time_lts_opt if time_lts_opt else 0.0,
+        lam=clustering_opt.lam,
+        speedup_vs_gts=time_gts / time_lts_opt,
+    )
 
     # shape of Table I: LTS beats GTS, tuned lambda beats lambda = 1, fusing
     # increases the per-simulation throughput further

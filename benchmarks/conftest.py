@@ -20,24 +20,53 @@ from repro.scenarios.registry import loh3_scenario
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _convert(value):
+    """Recursively turn numpy scalars/arrays into JSON-native values."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _convert(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_convert(v) for v in value]
+    return value
+
+
 def record_result(name: str, payload: dict) -> None:
     """Persist a benchmark's table/figure data as JSON (and echo it)."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-
-    def _convert(value):
-        if isinstance(value, (np.floating, np.integer)):
-            return value.item()
-        if isinstance(value, np.ndarray):
-            return value.tolist()
-        if isinstance(value, dict):
-            return {k: _convert(v) for k, v in value.items()}
-        if isinstance(value, (list, tuple)):
-            return [_convert(v) for v in value]
-        return value
-
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(_convert(payload), indent=2))
     print(f"\n[{name}] " + json.dumps(_convert(payload), indent=2))
+
+
+def record_bench(
+    name: str,
+    *,
+    wall_s: float | None = None,
+    element_updates_per_s: float | None = None,
+    comm_bytes: float | None = None,
+    **extra,
+) -> None:
+    """Persist one standardised perf point as ``BENCH_<name>.json``.
+
+    Unlike the (gitignored) figure payloads these small files are committed:
+    they carry the three headline quantities -- wall time, element-update
+    throughput, communication bytes -- and form the perf trajectory that is
+    tracked across PRs.
+    """
+    payload = {"bench": name}
+    if wall_s is not None:
+        payload["wall_s"] = float(wall_s)
+    if element_updates_per_s is not None:
+        payload["element_updates_per_s"] = float(element_updates_per_s)
+    if comm_bytes is not None:
+        payload["comm_bytes"] = float(comm_bytes)
+    payload.update(extra)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(_convert(payload), indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

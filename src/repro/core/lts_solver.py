@@ -43,6 +43,7 @@ class _ClusterData:
 
     def __init__(self, disc: Discretization, clustering: Clustering, cluster: int):
         ids = np.where(clustering.cluster_ids == cluster)[0]
+        self.cluster_id = cluster
         self.elements = ids
         self.dt = float(clustering.cluster_time_steps[cluster])
         neighbors = disc.mesh.neighbors[ids]
@@ -147,17 +148,27 @@ class ClusteredLtsSolver:
         cluster.pending_local_delta = delta
         cluster.pending_te = time_integrated[:, :N_ELASTIC]
 
+    def _neighbor_coefficients(self, cluster: _ClusterData) -> np.ndarray:
+        """Face-basis coefficients of the neighbours' traces for a correction.
+
+        Split out as a hook: the distributed rank stepper overlays the
+        coefficients of partition-boundary faces with the face-local
+        compressed payloads received through the communicator.
+        """
+        disc = self.disc
+        neighbor_te = self.buffers.neighbor_data(
+            cluster.elements, cluster.neighbors, cluster.relations, cluster.step_index
+        )
+        own_traces = project_local_traces(disc, cluster.pending_te, cluster.elements)
+        return neighbor_face_coefficients(disc, neighbor_te, own_traces, cluster.elements)
+
     def _correct(self, cluster: _ClusterData, cluster_start_time: float) -> None:
         """Neighbouring update and DOF advance of one cluster."""
         if len(cluster.elements) == 0:
             cluster.step_index += 1
             return
         disc = self.disc
-        neighbor_te = self.buffers.neighbor_data(
-            cluster.elements, cluster.neighbors, cluster.relations, cluster.step_index
-        )
-        own_traces = project_local_traces(disc, cluster.pending_te, cluster.elements)
-        coeffs = neighbor_face_coefficients(disc, neighbor_te, own_traces, cluster.elements)
+        coeffs = self._neighbor_coefficients(cluster)
         delta = cluster.pending_local_delta + surface_kernel_neighbor(
             disc, coeffs, cluster.elements
         )

@@ -1,0 +1,269 @@
+"""Multi-rank clustered-LTS execution engine (Sec. V-C).
+
+Drives one :class:`~repro.distributed.stepper.RankSolver` per partition
+through the shared rate-2 schedule: at every micro step all ranks predict
+their due clusters, ship the face-local compressed halo payloads through the
+:class:`~repro.parallel.communicator.SimulatedCommunicator`, and correct.
+Each rank only ever touches its own local arrays plus the communicator, so
+the engine is a faithful in-process stand-in for the MPI execution path --
+with every message counted.
+
+The engine mirrors enough of the single-solver interface (``dofs``,
+``time``, ``n_element_updates``, ``set_initial_condition``, ``step_cycle``)
+for the scenario runner to drive it interchangeably; ``gather``/``restore``
+convert between the per-rank state and the global arrays the checkpoint
+format stores, which keeps single-rank and distributed checkpoints
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..core.clustering import Clustering
+from ..core.lts_scheduler import schedule_cycle
+from ..kernels.discretization import Discretization
+from ..parallel.communicator import SimulatedCommunicator
+from ..parallel.exchange import HaloIndex, exchange_volumes_per_cycle
+from ..source.moment_tensor import DiscretePointSource
+from ..source.receivers import Receiver, ReceiverSet
+from .stepper import RankSolver
+from .subdomain import RankSubdomain
+
+__all__ = ["DistributedLtsEngine"]
+
+
+class DistributedLtsEngine:
+    """In-process multi-rank clustered LTS over a partitioned mesh."""
+
+    def __init__(
+        self,
+        disc: Discretization,
+        clustering: Clustering,
+        partitions: np.ndarray,
+        sources: list | None = None,
+        receivers: ReceiverSet | None = None,
+        n_fused: int = 0,
+    ):
+        partitions = np.asarray(partitions, dtype=np.int64)
+        if len(partitions) != disc.n_elements:
+            raise ValueError("partitions do not match the discretization")
+        self.disc = disc
+        self.clustering = clustering
+        self.partitions = partitions
+        self.n_ranks = int(partitions.max()) + 1
+        self.n_fused = n_fused
+        self.comm = SimulatedCommunicator(self.n_ranks)
+        self.receiver_set = receivers
+
+        self._global_sources = [
+            s if isinstance(s, DiscretePointSource) else DiscretePointSource(disc, s)
+            for s in (sources or [])
+        ]
+
+        self.subdomains = [
+            RankSubdomain(disc, clustering, partitions, r) for r in range(self.n_ranks)
+        ]
+        self.ranks = [
+            RankSolver(
+                sub,
+                self.comm,
+                sources=self._local_sources(sub),
+                receivers=None,
+                n_fused=n_fused,
+            )
+            for sub in self.subdomains
+        ]
+        self.rebind_receivers()
+
+        self.halo = HaloIndex.from_partitions(disc.mesh.neighbors, partitions)
+        #: macro cycles stepped by THIS engine instance -- the denominator
+        #: for per-cycle traffic (a restored engine's counters start at zero)
+        self.cycles_stepped = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def _local_sources(self, subdomain: RankSubdomain) -> list:
+        """The rank's point sources, element ids remapped to local order."""
+        local = []
+        for source in self._global_sources:
+            if self.partitions[source.element] != subdomain.rank:
+                continue
+            remapped = copy.copy(source)
+            remapped.element = int(subdomain.local_of_global[source.element])
+            local.append(remapped)
+        return local
+
+    def rebind_receivers(self) -> None:
+        """(Re)build the per-rank receiver shims.
+
+        Each shim :class:`Receiver` shares the ``times``/``samples`` list
+        objects of its global counterpart, so recordings made by the owning
+        rank appear directly in the global :class:`ReceiverSet`.  Called at
+        setup and again after a checkpoint restore replaces those lists.
+        """
+        if self.receiver_set is None:
+            return
+        for rank, sub in zip(self.ranks, self.subdomains):
+            shims = []
+            for receiver in self.receiver_set.receivers:
+                if self.partitions[receiver.element] != sub.rank:
+                    continue
+                shims.append(
+                    Receiver(
+                        name=receiver.name,
+                        location=receiver.location,
+                        element=int(sub.local_of_global[receiver.element]),
+                        basis_values=receiver.basis_values,
+                        times=receiver.times,
+                        samples=receiver.samples,
+                    )
+                )
+            shim_set = ReceiverSet.__new__(ReceiverSet)
+            shim_set.receivers = shims
+            shim_set._by_element = {}
+            for shim in shims:
+                shim_set._by_element.setdefault(shim.element, []).append(shim)
+            rank.receivers = shim_set if shims else None
+
+    # ------------------------------------------------------------------
+    # single-solver facade
+    # ------------------------------------------------------------------
+    @property
+    def macro_dt(self) -> float:
+        return float(self.clustering.cluster_time_steps[-1])
+
+    @property
+    def time(self) -> float:
+        return self.ranks[0].time
+
+    @property
+    def n_element_updates(self) -> int:
+        return int(sum(rank.n_element_updates for rank in self.ranks))
+
+    @property
+    def dofs(self) -> np.ndarray:
+        """The global DOF array, gathered from the ranks."""
+        return self._gather(lambda rank: rank.dofs)
+
+    def _gather(self, array_of_rank) -> np.ndarray:
+        template = array_of_rank(self.ranks[0])
+        out = np.empty((self.disc.n_elements,) + template.shape[1:], dtype=template.dtype)
+        for rank, sub in zip(self.ranks, self.subdomains):
+            out[sub.owned] = array_of_rank(rank)
+        return out
+
+    def set_initial_condition(self, func) -> None:
+        """Project the initial condition globally and scatter it to the ranks."""
+        global_dofs = self.disc.project_initial_condition(func, n_fused=self.n_fused)
+        for rank, sub in zip(self.ranks, self.subdomains):
+            rank.dofs = global_dofs[sub.owned].copy()
+
+    # ------------------------------------------------------------------
+    # time stepping
+    # ------------------------------------------------------------------
+    def step_cycle(self) -> None:
+        """Advance all ranks by one macro cycle with halo exchange."""
+        n_clusters = self.clustering.n_clusters
+        dt0 = float(self.clustering.cluster_time_steps[0])
+        for entry in schedule_cycle(n_clusters):
+            s = entry["micro_step"]
+            for rank in self.ranks:
+                for l in entry["predict"]:
+                    rank._predict(rank.clusters[l])
+            for rank in self.ranks:
+                rank.send_due(s)
+            for rank in self.ranks:
+                for l in entry["correct"]:
+                    cluster = rank.clusters[l]
+                    start = rank.time + (s + 1) * dt0 - cluster.dt
+                    rank._correct(cluster, start)
+        for rank in self.ranks:
+            rank.time += self.macro_dt
+        self.cycles_stepped += 1
+        if not self.comm.all_delivered():
+            raise RuntimeError("halo exchange left undelivered messages after a macro cycle")
+
+    def run(self, t_end: float) -> np.ndarray:
+        """Advance to at least ``t_end`` (full macro cycles); returns the DOFs."""
+        if t_end < self.time:
+            raise ValueError("t_end lies in the past")
+        n_cycles = int(np.ceil((t_end - self.time) / self.macro_dt - 1e-12))
+        for _ in range(n_cycles):
+            self.step_cycle()
+        return self.dofs
+
+    # ------------------------------------------------------------------
+    # checkpoint interchange with the single-rank solver
+    # ------------------------------------------------------------------
+    def gather_buffers(self) -> dict[str, np.ndarray]:
+        return {
+            "b1": self._gather(lambda rank: rank.buffers.b1),
+            "b2": self._gather(lambda rank: rank.buffers.b2),
+            "b3": self._gather(lambda rank: rank.buffers.b3),
+        }
+
+    def step_indices(self) -> np.ndarray:
+        """Per-cluster step counters (identical on every rank)."""
+        return np.array(
+            [cluster.step_index for cluster in self.ranks[0].clusters], dtype=np.int64
+        )
+
+    def restore(
+        self,
+        dofs: np.ndarray,
+        b1: np.ndarray,
+        b2: np.ndarray,
+        b3: np.ndarray,
+        step_index: np.ndarray,
+        time: float,
+        n_element_updates: int,
+    ) -> None:
+        """Scatter a globally stored dynamic state back onto the ranks.
+
+        The global element-update count is re-distributed deterministically
+        (per-rank updates per cycle are fixed by the clustering), so a
+        restored engine continues with exactly the accounting of an
+        uninterrupted run.
+        """
+        per_cycle = np.array([rank.updates_per_cycle() for rank in self.ranks], dtype=np.int64)
+        total_per_cycle = int(per_cycle.sum())
+        if total_per_cycle and n_element_updates % total_per_cycle != 0:
+            raise ValueError("element-update count is not at a macro-cycle boundary")
+        cycles = n_element_updates // total_per_cycle if total_per_cycle else 0
+        for rank, sub in zip(self.ranks, self.subdomains):
+            rank.dofs = dofs[sub.owned].copy()
+            rank.buffers.b1 = b1[sub.owned].copy()
+            rank.buffers.b2 = b2[sub.owned].copy()
+            rank.buffers.b3 = b3[sub.owned].copy()
+            for cluster, index in zip(rank.clusters, step_index):
+                cluster.step_index = int(index)
+            rank.time = float(time)
+            rank.n_element_updates = int(cycles * rank.updates_per_cycle())
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """Measured communication statistics (messages/bytes, per pair)."""
+        return self.comm.stats
+
+    def modelled_exchange_per_cycle(self) -> dict:
+        """The Fig-10 machine model's view of the same halo, for validation.
+
+        Payloads travel as float64 (times the fused width), so the model is
+        evaluated at that value size; a distributed run's measured traffic
+        must match these numbers exactly.
+        """
+        return exchange_volumes_per_cycle(
+            self.halo,
+            self.clustering.cluster_ids,
+            self.clustering.n_clusters,
+            order=self.disc.order,
+            face_local=True,
+            bytes_per_value=8 * max(1, self.n_fused),
+        )

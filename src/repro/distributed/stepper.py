@@ -1,0 +1,94 @@
+"""The per-rank clustered-LTS stepper of a distributed run.
+
+A :class:`RankSolver` is a :class:`~repro.core.lts_solver.ClusteredLtsSolver`
+running on one rank's :class:`~repro.distributed.subdomain.RankSubdomain`:
+local DOFs, local LTS buffers, local element-ids everywhere.  Two things are
+added on top of the shared driver logic:
+
+* :meth:`send_due` ships the face-local compressed halo payloads of the
+  current micro step (``9 x F`` values per face -- the buffer data already
+  multiplied with the *receiver's* neighbouring flux matrix ``F_bar``), and
+* the :meth:`_neighbor_coefficients` hook overlays the coefficients of
+  partition-boundary faces with the freshest received payload before the
+  neighbouring surface kernel runs.
+
+Because the sender performs exactly the ``F_bar`` multiplication the
+receiver would have performed on the same buffer values, the distributed
+update is bit-identical to the single-rank solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.clustering import Clustering
+from ..core.lts_solver import ClusteredLtsSolver, _ClusterData
+from ..parallel.communicator import SimulatedCommunicator
+from .subdomain import RankSubdomain
+
+__all__ = ["RankSolver"]
+
+
+class RankSolver(ClusteredLtsSolver):
+    """Clustered LTS on one rank's subdomain with halo communication."""
+
+    def __init__(
+        self,
+        subdomain: RankSubdomain,
+        communicator: SimulatedCommunicator,
+        sources: list | None = None,
+        receivers=None,
+        n_fused: int = 0,
+        clustering: Clustering | None = None,
+    ):
+        self.subdomain = subdomain
+        self.comm = communicator
+        self.rank = subdomain.rank
+        super().__init__(
+            subdomain.view,
+            clustering if clustering is not None else subdomain.clustering,
+            sources=sources,
+            receivers=receivers,
+            n_fused=n_fused,
+        )
+
+    # ------------------------------------------------------------------
+    def send_due(self, micro_step: int) -> None:
+        """Send every halo payload due at this micro step of the cycle."""
+        for batch in self.subdomain.send_schedule[micro_step]:
+            elements = batch.local_elements
+            if batch.kind == "b1":
+                data = self.buffers.b1[elements]
+            elif batch.kind == "b3":
+                data = self.buffers.b3[elements]
+            elif batch.kind == "b2":
+                data = self.buffers.b2[elements]
+            else:  # "b1_minus_b2": the second sub-step of a faster receiver
+                data = self.buffers.b1[elements] - self.buffers.b2[elements]
+            mats = self.disc.neighbor_flux_matrices[batch.fbar_indices]
+            payloads = np.einsum("nvb...,nbf->nvf...", data, mats)
+            for n in range(len(batch.tags)):
+                self.comm.send(
+                    payloads[n],
+                    src=self.rank,
+                    dst=int(batch.dst_ranks[n]),
+                    tag=int(batch.tags[n]),
+                )
+
+    def _neighbor_coefficients(self, cluster: _ClusterData) -> np.ndarray:
+        """Local coefficients plus the received halo payloads."""
+        coeffs = super()._neighbor_coefficients(cluster)
+        plan = self.subdomain.recv_plans[cluster.cluster_id]
+        for row, face, src, tag in zip(plan.rows, plan.faces, plan.src_ranks, plan.tags):
+            # drain the channel and keep the freshest payload: a faster
+            # sender refreshes its accumulated B3 twice per receiver step
+            payload = None
+            while self.comm.pending(int(src), self.rank, int(tag)):
+                payload = self.comm.recv(int(src), self.rank, int(tag))
+            if payload is None:
+                raise RuntimeError(
+                    f"rank {self.rank}: no halo payload from rank {int(src)} "
+                    f"for tag {int(tag)} at correction of cluster {cluster.cluster_id}"
+                )
+            coeffs[row, face] = payload
+        return coeffs

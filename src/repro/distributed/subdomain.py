@@ -1,0 +1,256 @@
+"""Per-rank subdomains of a global discretization (Sec. V-C, Sec. VI).
+
+A distributed run splits the mesh into one subdomain per rank along the
+weighted dual-graph partitioning.  Each rank owns the elements of its
+partition: DOFs, LTS buffers and every element-local operator live in
+*local* element order (the global-to-local map is part of the subdomain),
+and the only remote data a rank ever touches are the face-local compressed
+halo payloads received through the communicator.
+
+All halo bookkeeping is precomputed here once at setup:
+
+* the *send schedule* lists, per micro step of a macro cycle, which owned
+  boundary faces must ship which buffer (``B1``, ``B3``, ``B2`` or
+  ``B1 - B2`` following the sub-step parity rules of Fig. 6) to which rank,
+  already grouped into vectorised batches, and
+* the *receive plans* list, per cluster, where incoming payloads land in the
+  cluster's neighbour-coefficient array.
+
+This removes every per-exchange Python-level lookup from the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.clustering import Clustering
+from ..core.lts_scheduler import micro_steps_per_cycle
+from ..kernels.discretization import Discretization
+
+__all__ = ["SubdomainDisc", "RankSubdomain", "SendBatch", "RecvPlan"]
+
+
+class _LocalMesh:
+    """The tiny mesh facade a rank-local solver needs: local face neighbours.
+
+    Cross-rank (ghost) and true boundary faces are both ``-1``; the halo
+    receive plans carry the ghost-face information separately.
+    """
+
+    def __init__(self, neighbors: np.ndarray):
+        self.neighbors = neighbors
+
+    @property
+    def n_elements(self) -> int:
+        return self.neighbors.shape[0]
+
+
+class SubdomainDisc:
+    """Element-local view of a global :class:`Discretization` for one rank.
+
+    Per-element operator arrays are gathered into local (owned) element order
+    once; shared reference-element data and the deduplicated neighbouring
+    flux matrices stay references to the global objects.  The ADER-DG kernels
+    run unmodified on local element ids and -- since every kernel contraction
+    is element-local -- produce bit-identical per-element results.
+    """
+
+    def __init__(self, disc: Discretization, owned: np.ndarray, local_neighbors: np.ndarray):
+        self.order = disc.order
+        self.n_mechanisms = disc.n_mechanisms
+        self.omegas = disc.omegas
+        self.ref = disc.ref
+        self.n_basis = disc.n_basis
+        self.n_face_basis = disc.n_face_basis
+        self.n_vars = disc.n_vars
+        self.time_steps = disc.time_steps[owned]
+        self.star_elastic = disc.star_elastic[owned]
+        self.star_anelastic = disc.star_anelastic[owned]
+        self.coupling = disc.coupling[owned]
+        self.flux_local_elastic = disc.flux_local_elastic[owned]
+        self.flux_local_anelastic = disc.flux_local_anelastic[owned]
+        self.flux_neigh_elastic = disc.flux_neigh_elastic[owned]
+        self.flux_neigh_anelastic = disc.flux_neigh_anelastic[owned]
+        # shared: the global unique F_bar set; rows are gathered per rank but
+        # keep indexing into the global matrix pool
+        self.neighbor_flux_matrices = disc.neighbor_flux_matrices
+        self.neighbor_flux_index = disc.neighbor_flux_index[owned]
+        self.mesh = _LocalMesh(local_neighbors)
+
+    @property
+    def n_elements(self) -> int:
+        return self.mesh.n_elements
+
+    def allocate_dofs(self, n_fused: int = 0, dtype=np.float64) -> np.ndarray:
+        shape: tuple[int, ...] = (self.n_elements, self.n_vars, self.n_basis)
+        if n_fused > 0:
+            shape = shape + (n_fused,)
+        return np.zeros(shape, dtype=dtype)
+
+
+@dataclass(frozen=True)
+class SendBatch:
+    """One vectorised batch of halo sends due at a micro step.
+
+    ``kind`` names the buffer representation the receivers need at this
+    point of the schedule: ``b1`` (same-step neighbours), ``b3`` (the owner
+    is in the smaller cluster; partial then accumulated), ``b2`` /
+    ``b1_minus_b2`` (the owner is in the larger cluster; first/second
+    sub-step of the receiver).
+    """
+
+    kind: str
+    local_elements: np.ndarray  #: (n,) local ids of the owning elements
+    fbar_indices: np.ndarray  #: (n,) receiver-side F_bar matrix per face
+    dst_ranks: np.ndarray  #: (n,)
+    tags: np.ndarray  #: (n,) message tag (global element * 4 + face)
+
+
+@dataclass(frozen=True)
+class RecvPlan:
+    """Where one cluster's incoming halo payloads land during a correction."""
+
+    rows: np.ndarray  #: (n,) row within the cluster's element batch
+    faces: np.ndarray  #: (n,) local face id of the receiving element
+    src_ranks: np.ndarray  #: (n,)
+    tags: np.ndarray  #: (n,) tag of the matching send
+
+
+class RankSubdomain:
+    """Everything one rank needs: local operators, maps and halo plans."""
+
+    def __init__(
+        self,
+        disc: Discretization,
+        clustering: Clustering,
+        partitions: np.ndarray,
+        rank: int,
+    ):
+        partitions = np.asarray(partitions, dtype=np.int64)
+        neighbors = disc.mesh.neighbors
+        n_global = disc.n_elements
+        self.rank = int(rank)
+        self.n_ranks = int(partitions.max()) + 1
+
+        self.owned = np.where(partitions == rank)[0]
+        self.local_of_global = np.full(n_global, -1, dtype=np.int64)
+        self.local_of_global[self.owned] = np.arange(len(self.owned))
+
+        own_neighbors = neighbors[self.owned]  # (E, 4) global ids
+        same_rank = (own_neighbors >= 0) & (
+            partitions[np.maximum(own_neighbors, 0)] == rank
+        )
+        local_neighbors = np.where(
+            same_rank, self.local_of_global[np.maximum(own_neighbors, 0)], -1
+        )
+        self.view = SubdomainDisc(disc, self.owned, local_neighbors)
+
+        self.clustering = Clustering(
+            cluster_ids=clustering.cluster_ids[self.owned],
+            cluster_time_steps=clustering.cluster_time_steps,
+            lam=clustering.lam,
+            dt_min=clustering.dt_min,
+        )
+
+        ghost = (own_neighbors >= 0) & ~same_rank
+        self.n_halo_faces = int(ghost.sum())
+        self._build_send_schedule(disc, clustering, partitions, own_neighbors, ghost)
+        self._build_recv_plans(disc, clustering, partitions, own_neighbors, ghost)
+
+    # ------------------------------------------------------------------
+    def _build_send_schedule(
+        self,
+        disc: Discretization,
+        clustering: Clustering,
+        partitions: np.ndarray,
+        own_neighbors: np.ndarray,
+        ghost: np.ndarray,
+    ) -> None:
+        """Per-micro-step batches of due halo sends (one macro cycle).
+
+        An owned boundary face sends at the *faster* side's frequency: when
+        the owner is in the same or a smaller cluster it ships its freshly
+        filled ``B1``/``B3`` after every own prediction; when the owner is in
+        the larger cluster it ships ``B2`` or ``B1 - B2`` at every prediction
+        of the (faster) receiver, following the receiver's sub-step parity.
+        The parity pattern repeats every macro cycle, so the schedule is
+        static.
+        """
+        neighbor_faces = disc.mesh.neighbor_faces[self.owned]
+        rows, faces = np.nonzero(ghost)
+        local_elements = rows  # row into owned order IS the local element id
+        global_neighbors = own_neighbors[rows, faces]
+        c_own = clustering.cluster_ids[self.owned[rows]]
+        c_neigh = clustering.cluster_ids[global_neighbors]
+        fbar_indices = disc.neighbor_flux_index[
+            global_neighbors, neighbor_faces[rows, faces]
+        ]
+        if np.any(fbar_indices < 0):
+            raise RuntimeError("halo face without a neighbouring flux matrix")
+        dst_ranks = partitions[global_neighbors]
+        tags = self.owned[rows] * 4 + faces
+
+        n_clusters = clustering.n_clusters
+        schedule: list[list[SendBatch]] = []
+        for s in range(micro_steps_per_cycle(n_clusters)):
+            owner_predicts = s % (2**c_own) == 0
+            receiver_predicts = s % (2**c_neigh) == 0
+            receiver_parity = (s // np.maximum(2**c_neigh, 1)) % 2
+            masks = (
+                ("b1", (c_own == c_neigh) & owner_predicts),
+                ("b3", (c_own < c_neigh) & owner_predicts),
+                ("b2", (c_own > c_neigh) & receiver_predicts & (receiver_parity == 0)),
+                ("b1_minus_b2", (c_own > c_neigh) & receiver_predicts & (receiver_parity == 1)),
+            )
+            batches = [
+                SendBatch(
+                    kind=kind,
+                    local_elements=local_elements[mask],
+                    fbar_indices=fbar_indices[mask],
+                    dst_ranks=dst_ranks[mask],
+                    tags=tags[mask],
+                )
+                for kind, mask in masks
+                if np.any(mask)
+            ]
+            schedule.append(batches)
+        self.send_schedule = schedule
+
+    def _build_recv_plans(
+        self,
+        disc: Discretization,
+        clustering: Clustering,
+        partitions: np.ndarray,
+        own_neighbors: np.ndarray,
+        ghost: np.ndarray,
+    ) -> None:
+        """Per-cluster landing sites of incoming halo payloads.
+
+        Rows index into the cluster's element batch in the same (ascending
+        local id) order the per-cluster driver uses, so a received payload
+        can be written straight into the neighbour-coefficient array.
+        """
+        neighbor_faces = disc.mesh.neighbor_faces[self.owned]
+        local_cluster_ids = self.clustering.cluster_ids
+        plans: list[RecvPlan] = []
+        for cluster in range(clustering.n_clusters):
+            batch = np.where(local_cluster_ids == cluster)[0]
+            batch_ghost = ghost[batch]
+            rows, faces = np.nonzero(batch_ghost)
+            senders = own_neighbors[batch[rows], faces]
+            plans.append(
+                RecvPlan(
+                    rows=rows,
+                    faces=faces,
+                    src_ranks=partitions[senders],
+                    tags=senders * 4 + neighbor_faces[batch[rows], faces],
+                )
+            )
+        self.recv_plans = plans
+
+    # ------------------------------------------------------------------
+    @property
+    def n_owned(self) -> int:
+        return len(self.owned)

@@ -1,7 +1,14 @@
 """Distributed-memory substrate: partitioning, communication accounting, scaling model."""
 
-from .communicator import MessageStats, SimulatedCommunicator
-from .exchange import HaloFace, build_halo, exchange_face_data, exchange_volumes_per_cycle
+from .communicator import MessageStats, SimulatedCommunicator, pair_key
+from .exchange import (
+    HaloFace,
+    HaloIndex,
+    build_halo,
+    build_halo_index,
+    exchange_face_data,
+    exchange_volumes_per_cycle,
+)
 from .machine_model import FRONTERA_NODE, MachineNode, ScalingPoint, strong_scaling_study
 from .partition import PartitionResult, element_weights, face_weights, partition_dual_graph
 
@@ -12,8 +19,11 @@ __all__ = [
     "partition_dual_graph",
     "SimulatedCommunicator",
     "MessageStats",
+    "pair_key",
     "HaloFace",
+    "HaloIndex",
     "build_halo",
+    "build_halo_index",
     "exchange_volumes_per_cycle",
     "exchange_face_data",
     "MachineNode",

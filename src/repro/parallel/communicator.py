@@ -16,23 +16,41 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["MessageStats", "SimulatedCommunicator"]
+__all__ = ["MessageStats", "SimulatedCommunicator", "pair_key"]
+
+
+def pair_key(src: int, dst: int) -> str:
+    """The JSON-safe ``"src->dst"`` key identifying a directed rank pair."""
+    return f"{src}->{dst}"
 
 
 @dataclass
 class MessageStats:
-    """Accumulated communication statistics of a simulated run."""
+    """Accumulated communication statistics of a simulated run.
+
+    ``per_pair`` maps the directed rank pair ``"src->dst"`` to plain-int
+    message/byte counters, so the whole object embeds into run-summary JSON
+    without a custom encoder.
+    """
 
     n_messages: int = 0
     n_bytes: int = 0
-    per_pair: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+    per_pair: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, n_bytes: int) -> None:
         self.n_messages += 1
         self.n_bytes += n_bytes
-        entry = self.per_pair[(src, dst)]
-        entry[0] += 1
-        entry[1] += n_bytes
+        entry = self.per_pair.setdefault(pair_key(src, dst), {"messages": 0, "bytes": 0})
+        entry["messages"] += 1
+        entry["bytes"] += int(n_bytes)
+
+    def as_dict(self) -> dict:
+        """JSON-native snapshot of the accumulated statistics."""
+        return {
+            "n_messages": self.n_messages,
+            "n_bytes": self.n_bytes,
+            "per_pair": {k: dict(v) for k, v in self.per_pair.items()},
+        }
 
 
 class SimulatedCommunicator:

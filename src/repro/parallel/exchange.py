@@ -7,6 +7,11 @@ neighbouring flux matrix ``F_bar`` (a ``B -> F`` reduction), so that only
 have performed exactly this multiplication anyway.  This module implements
 the per-partition-boundary accounting and the exchange of face-local data
 through the simulated communicator.
+
+:class:`HaloIndex` precomputes the per-face index arrays (owning element,
+face, neighbour, ranks, message tags) once, so that repeated exchanges and
+the per-cycle accounting are vectorised instead of re-deriving them with
+Python-level lookups on every call.
 """
 
 from __future__ import annotations
@@ -16,9 +21,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..basis.functions import basis_size, face_basis_size
-from .communicator import SimulatedCommunicator
+from .communicator import SimulatedCommunicator, pair_key
 
-__all__ = ["HaloFace", "build_halo", "exchange_volumes_per_cycle", "exchange_face_data"]
+__all__ = [
+    "HaloFace",
+    "HaloIndex",
+    "build_halo",
+    "build_halo_index",
+    "exchange_volumes_per_cycle",
+    "exchange_face_data",
+]
 
 N_ELASTIC = 9
 
@@ -34,87 +46,158 @@ class HaloFace:
     neighbor_rank: int
 
 
+@dataclass(frozen=True)
+class HaloIndex:
+    """Vectorised index arrays over all partition-boundary faces.
+
+    Computed once at setup; every array has one entry per directed halo face
+    (each cut face appears twice, once from each side).  ``tags`` is the
+    unique message tag ``element * 4 + face`` of the owning side, which is
+    what pairs a send with the matching receive.
+    """
+
+    elements: np.ndarray  #: (H,) owning element per halo face
+    faces: np.ndarray  #: (H,) local face id of the owning element
+    neighbor_elements: np.ndarray  #: (H,) element on the other side
+    owner_ranks: np.ndarray  #: (H,)
+    neighbor_ranks: np.ndarray  #: (H,)
+    tags: np.ndarray  #: (H,) message tag of the owning side
+
+    @property
+    def n_faces(self) -> int:
+        return len(self.elements)
+
+    @classmethod
+    def from_partitions(cls, neighbors: np.ndarray, partitions: np.ndarray) -> "HaloIndex":
+        """All element faces whose neighbour lives on a different partition."""
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        partitions = np.asarray(partitions, dtype=np.int64)
+        cut = (neighbors >= 0) & (
+            partitions[np.maximum(neighbors, 0)] != partitions[:, None]
+        )
+        elements, faces = np.nonzero(cut)
+        neighbor_elements = neighbors[elements, faces]
+        return cls(
+            elements=elements,
+            faces=faces,
+            neighbor_elements=neighbor_elements,
+            owner_ranks=partitions[elements],
+            neighbor_ranks=partitions[neighbor_elements],
+            tags=elements * 4 + faces,
+        )
+
+    @classmethod
+    def from_halo(cls, halo: list[HaloFace]) -> "HaloIndex":
+        """Index arrays of an explicit :func:`build_halo` face list."""
+        elements = np.array([f.element for f in halo], dtype=np.int64)
+        faces = np.array([f.face for f in halo], dtype=np.int64)
+        return cls(
+            elements=elements,
+            faces=faces,
+            neighbor_elements=np.array([f.neighbor_element for f in halo], dtype=np.int64),
+            owner_ranks=np.array([f.owner_rank for f in halo], dtype=np.int64),
+            neighbor_ranks=np.array([f.neighbor_rank for f in halo], dtype=np.int64),
+            tags=elements * 4 + faces,
+        )
+
+
 def build_halo(neighbors: np.ndarray, partitions: np.ndarray) -> list[HaloFace]:
     """All element faces whose neighbour lives on a different partition."""
-    neighbors = np.asarray(neighbors, dtype=np.int64)
-    partitions = np.asarray(partitions, dtype=np.int64)
-    halo: list[HaloFace] = []
-    for k in range(neighbors.shape[0]):
-        for i in range(neighbors.shape[1]):
-            n = neighbors[k, i]
-            if n >= 0 and partitions[n] != partitions[k]:
-                halo.append(
-                    HaloFace(
-                        element=k,
-                        face=i,
-                        neighbor_element=int(n),
-                        owner_rank=int(partitions[k]),
-                        neighbor_rank=int(partitions[n]),
-                    )
-                )
-    return halo
+    index = HaloIndex.from_partitions(neighbors, partitions)
+    return [
+        HaloFace(
+            element=int(index.elements[h]),
+            face=int(index.faces[h]),
+            neighbor_element=int(index.neighbor_elements[h]),
+            owner_rank=int(index.owner_ranks[h]),
+            neighbor_rank=int(index.neighbor_ranks[h]),
+        )
+        for h in range(index.n_faces)
+    ]
+
+
+def build_halo_index(halo: list[HaloFace] | HaloIndex) -> HaloIndex:
+    """Normalise a halo description to precomputed index arrays."""
+    if isinstance(halo, HaloIndex):
+        return halo
+    return HaloIndex.from_halo(halo)
 
 
 def exchange_volumes_per_cycle(
-    halo: list[HaloFace],
+    halo: list[HaloFace] | HaloIndex,
     cluster_ids: np.ndarray,
     n_clusters: int,
     order: int,
     face_local: bool = True,
     bytes_per_value: int = 4,
-) -> dict[str, float]:
+) -> dict:
     """Bytes exchanged per LTS macro cycle over all partition boundaries.
 
     ``face_local = True`` uses the compressed ``9 x F`` representation,
     ``False`` the full ``9 x B`` buffers.  Data travels at the faster side's
     update frequency (the buffers have to be refreshed that often).
+
+    The returned dict is JSON-native; ``per_pair`` maps the directed rank
+    pair ``"src->dst"`` to its modelled bytes per cycle, so a distributed
+    run's *measured* traffic can be validated entry by entry.
     """
+    index = build_halo_index(halo)
     cluster_ids = np.asarray(cluster_ids, dtype=np.int64)
     values = N_ELASTIC * (face_basis_size(order) if face_local else basis_size(order))
-    total_bytes = 0.0
-    per_pair: dict[tuple[int, int], float] = {}
-    for face in halo:
-        frequency = 2 ** (
-            n_clusters - 1 - min(cluster_ids[face.element], cluster_ids[face.neighbor_element])
-        )
-        n_bytes = values * bytes_per_value * frequency
-        total_bytes += n_bytes
-        key = (face.owner_rank, face.neighbor_rank)
-        per_pair[key] = per_pair.get(key, 0.0) + n_bytes
+    frequencies = 2 ** (
+        n_clusters
+        - 1
+        - np.minimum(cluster_ids[index.elements], cluster_ids[index.neighbor_elements])
+    ).astype(np.int64)
+    face_bytes = values * bytes_per_value * frequencies
+    per_pair: dict[str, float] = {}
+    for src, dst, n_bytes in zip(index.owner_ranks, index.neighbor_ranks, face_bytes):
+        key = pair_key(int(src), int(dst))
+        per_pair[key] = per_pair.get(key, 0.0) + float(n_bytes)
     return {
-        "total_bytes": total_bytes,
-        "n_halo_faces": float(len(halo)),
+        "total_bytes": float(face_bytes.sum()),
+        "n_messages": int(frequencies.sum()),
+        "n_halo_faces": float(index.n_faces),
         "values_per_face": float(values),
         "max_pair_bytes": max(per_pair.values()) if per_pair else 0.0,
+        "per_pair": per_pair,
     }
 
 
 def exchange_face_data(
     communicator: SimulatedCommunicator,
-    halo: list[HaloFace],
+    halo: list[HaloFace] | HaloIndex,
     face_data: dict[tuple[int, int], np.ndarray],
 ) -> dict[tuple[int, int], np.ndarray]:
     """Exchange per-face payloads across partition boundaries.
 
     ``face_data`` maps ``(element, face)`` of the *owning* side to the
     (already face-local compressed) payload to send; the returned dict maps
-    ``(neighbor_element, neighbor_rank-side face key)`` ... more precisely the
-    receiving side is keyed by ``(element, face)`` of the receiving element's
-    mirrored halo entry.  The function verifies that every send is matched by
-    a receive (no lost messages).
+    ``(neighbor_element, element)`` -- the receiving element plus the sending
+    element, which identifies the shared face uniquely (two conforming
+    tetrahedra share at most one face).  The function verifies that every
+    send is matched by a receive (no lost messages).
     """
+    index = build_halo_index(halo)
     received: dict[tuple[int, int], np.ndarray] = {}
-    for face in halo:
-        payload = face_data[(face.element, face.face)]
+    for h in range(index.n_faces):
+        payload = face_data[(int(index.elements[h]), int(index.faces[h]))]
         communicator.send(
-            payload, src=face.owner_rank, dst=face.neighbor_rank, tag=face.element * 4 + face.face
+            payload,
+            src=int(index.owner_ranks[h]),
+            dst=int(index.neighbor_ranks[h]),
+            tag=int(index.tags[h]),
         )
-    for face in halo:
+    for h in range(index.n_faces):
         # the mirror entry: the neighbour element receives data sent by this face
         payload = communicator.recv(
-            src=face.owner_rank, dst=face.neighbor_rank, tag=face.element * 4 + face.face
+            src=int(index.owner_ranks[h]),
+            dst=int(index.neighbor_ranks[h]),
+            tag=int(index.tags[h]),
         )
-        received[(face.neighbor_element, face.owner_rank)] = payload
+        received[(int(index.neighbor_elements[h]), int(index.elements[h]))] = payload
+    if len(received) != index.n_faces:
+        raise RuntimeError("halo exchange dropped payloads (duplicate face keys)")
     if not communicator.all_delivered():
         raise RuntimeError("halo exchange left undelivered messages")
     return received

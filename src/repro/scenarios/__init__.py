@@ -19,7 +19,14 @@ from .registry import (
     register,
     scenario_names,
 )
-from .runner import ScenarioRunner, ScenarioSetup, build_setup, measure_update_cost
+from .runner import (
+    ScenarioRunner,
+    ScenarioSetup,
+    build_setup,
+    make_runner,
+    measure_update_cost,
+    runner_class_for,
+)
 from .spec import (
     ClusteringSpec,
     DomainSpec,
@@ -57,6 +64,8 @@ __all__ = [
     "build_setup",
     "ScenarioSetup",
     "ScenarioRunner",
+    "make_runner",
+    "runner_class_for",
     "measure_update_cost",
     "write_seismograms",
     "write_run_summary",

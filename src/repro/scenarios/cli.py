@@ -7,6 +7,7 @@
     python -m repro run loh3 --clusters 3 --order 3
     python -m repro run bimaterial_slab --set contrast=3.0 --output-dir out/
     python -m repro run la_habra --smoke
+    python -m repro run loh3 --smoke --ranks 2
     python -m repro run loh3 --checkpoint run.ckpt.npz --checkpoint-every 1
     python -m repro resume run.ckpt.npz
 
@@ -21,7 +22,7 @@ import sys
 
 from .outputs import write_outputs
 from .registry import describe_scenario, get_scenario, scenario_names
-from .runner import ScenarioRunner
+from .runner import ScenarioRunner, make_runner
 from .spec import ScenarioSpec
 
 __all__ = ["main", "build_parser"]
@@ -78,6 +79,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cycles", type=int, help="number of macro cycles to run")
     run.add_argument("--t-end", type=float, help="target simulated time [s]")
     run.add_argument("--seed", type=int, help="mesh jitter seed")
+    run.add_argument("--ranks", type=int,
+                     help="number of ranks of the distributed engine (default 1)")
     run.add_argument("--partitions", type=int, help="partition count (enables reordering)")
     run.add_argument("--reorder", action="store_true",
                      help="reorder elements by (partition, cluster, role)")
@@ -135,6 +138,7 @@ def _resolve_spec(args) -> ScenarioSpec:
         lam=args.lam if args.lam is not None else "keep",
         solver=args.solver,
         n_fused=args.fused,
+        n_ranks=args.ranks,
         n_cycles=args.cycles,
         t_end=args.t_end,
         checkpoint_every=args.checkpoint_every if args.checkpoint_every else "keep",
@@ -170,16 +174,17 @@ def _cmd_run(args) -> int:
     # during the run itself is a solver bug and keeps its traceback
     try:
         spec = _resolve_spec(args)
-        runner = ScenarioRunner(spec)
+        runner = make_runner(spec)
     except (KeyError, ValueError, TypeError, OSError) as error:
         return _input_error(error)
     if not args.quiet:
         clustering = runner.clustering
+        ranks = f", {spec.solver.n_ranks} ranks" if spec.solver.n_ranks > 1 else ""
         print(
             f"[{spec.name}] {runner.setup.mesh.n_elements} elements, "
             f"order {spec.order}, {clustering.n_clusters} clusters "
             f"(lambda {clustering.lam:.2f}, theoretical speedup "
-            f"{clustering.speedup():.2f}x), solver {spec.solver.kind}",
+            f"{clustering.speedup():.2f}x), solver {spec.solver.kind}{ranks}",
             file=sys.stderr,
         )
     summary = runner.run(

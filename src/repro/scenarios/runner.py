@@ -17,6 +17,7 @@ pending), so a resumed run is bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import json
+import os
 import time as _time
 from dataclasses import dataclass
 
@@ -39,6 +40,8 @@ __all__ = [
     "ScenarioSetup",
     "ScenarioRunner",
     "build_setup",
+    "make_runner",
+    "runner_class_for",
     "measure_update_cost",
     "CHECKPOINT_FORMAT_VERSION",
 ]
@@ -277,26 +280,31 @@ class ScenarioRunner:
             else None
         )
         sources = [self.setup.source] if self.setup.source is not None else []
+        self.solver = self._build_solver(disc, sources)
+        if self.setup.initial_condition is not None:
+            self.solver.set_initial_condition(self.setup.initial_condition)
+        self.cycles_done = 0
+        self.wall_s = 0.0
+
+    def _build_solver(self, disc: Discretization, sources: list):
+        """Construct the execution engine (overridden by the distributed runner)."""
+        spec = self.spec
         if spec.solver.kind == "gts":
-            self.solver = GlobalTimeSteppingSolver(
+            return GlobalTimeSteppingSolver(
                 disc,
                 dt=float(self.clustering.cluster_time_steps[0]),
                 sources=sources,
                 receivers=self.receivers,
                 n_fused=spec.solver.n_fused,
             )
-        else:  # "lts" and "legacy-lts" share the clustered driver
-            self.solver = ClusteredLtsSolver(
-                disc,
-                self.clustering,
-                sources=sources,
-                receivers=self.receivers,
-                n_fused=spec.solver.n_fused,
-            )
-        if self.setup.initial_condition is not None:
-            self.solver.set_initial_condition(self.setup.initial_condition)
-        self.cycles_done = 0
-        self.wall_s = 0.0
+        # "lts" and "legacy-lts" share the clustered driver
+        return ClusteredLtsSolver(
+            disc,
+            self.clustering,
+            sources=sources,
+            receivers=self.receivers,
+            n_fused=spec.solver.n_fused,
+        )
 
     # -- preprocessing --------------------------------------------------
     def _apply_preprocessing(self) -> Clustering:
@@ -352,12 +360,12 @@ class ScenarioRunner:
 
     def step_cycle(self) -> None:
         """Advance the simulation by one macro cycle."""
-        if isinstance(self.solver, ClusteredLtsSolver):
-            self.solver.step_cycle()
-        else:
+        if isinstance(self.solver, GlobalTimeSteppingSolver):
             # one macro cycle = 2^(N_c - 1) GTS steps at the cluster-0 step
             for _ in range(2 ** (self.clustering.n_clusters - 1)):
                 self.solver.step()
+        else:  # clustered LTS and the distributed engine step whole cycles
+            self.solver.step_cycle()
         self.cycles_done += 1
 
     def run(
@@ -450,27 +458,49 @@ class ScenarioRunner:
             "cluster_ids": self.clustering.cluster_ids,
             "cluster_time_steps": self.clustering.cluster_time_steps,
         }
-        if isinstance(solver, ClusteredLtsSolver):
-            arrays["step_index"] = np.array(
-                [cluster.step_index for cluster in solver.clusters], dtype=np.int64
-            )
-            arrays["b1"] = solver.buffers.b1
-            arrays["b2"] = solver.buffers.b2
-            arrays["b3"] = solver.buffers.b3
+        arrays.update(self._solver_state_arrays())
         if self.receivers is not None:
             for i, receiver in enumerate(self.receivers.receivers):
                 times, samples = receiver.seismogram()
                 arrays[f"rec{i}_times"] = times
                 arrays[f"rec{i}_samples"] = samples
         # write through an explicit handle: savez would otherwise append
-        # '.npz' to suffix-less paths, breaking `repro resume <given path>`
-        with open(path, "wb") as handle:
+        # '.npz' to suffix-less paths, breaking `repro resume <given path>`;
+        # write-then-rename keeps the previous checkpoint intact if the run
+        # is killed mid-write
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "wb") as handle:
             np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+        os.replace(tmp_path, path)
+
+    def _solver_state_arrays(self) -> dict:
+        """The solver-kind-specific dynamic arrays of the checkpoint.
+
+        Overridden by the distributed runner, which gathers the per-rank
+        state into the same global-array layout -- single-rank and
+        distributed checkpoints stay interchangeable.
+        """
+        solver = self.solver
+        if not isinstance(solver, ClusteredLtsSolver):
+            return {}
+        return {
+            "step_index": np.array(
+                [cluster.step_index for cluster in solver.clusters], dtype=np.int64
+            ),
+            "b1": solver.buffers.b1,
+            "b2": solver.buffers.b2,
+            "b3": solver.buffers.b3,
+        }
 
     @classmethod
     def resume(cls, path) -> "ScenarioRunner":
         """Rebuild a runner from a checkpoint; continuation is bit-identical
-        to the uninterrupted run."""
+        to the uninterrupted run.
+
+        The runner class follows the checkpointed spec: a spec with
+        ``solver.n_ranks > 1`` resumes as a distributed run (and vice versa),
+        regardless of which class this is called on.
+        """
         with np.load(path) as data:
             meta = json.loads(str(data["meta"]))
             if meta["format_version"] != CHECKPOINT_FORMAT_VERSION:
@@ -478,6 +508,7 @@ class ScenarioRunner:
                     f"unsupported checkpoint format {meta['format_version']}"
                 )
             spec = ScenarioSpec.from_dict(meta["spec"])
+            runner_cls = runner_class_for(spec)
             restored = Clustering(
                 cluster_ids=data["cluster_ids"].copy(),
                 cluster_time_steps=data["cluster_time_steps"].copy(),
@@ -489,9 +520,9 @@ class ScenarioRunner:
             # specs restore the exact checkpointed clustering so runners built
             # with a non-spec clustering also resume bit-identically
             if spec.preprocessing.active:
-                runner = cls(spec)
+                runner = runner_cls(spec)
             else:
-                runner = cls(spec, clustering=restored)
+                runner = runner_cls(spec, clustering=restored)
             runner._load_state(data, meta)
         return runner
 
@@ -513,17 +544,9 @@ class ScenarioRunner:
                 "checkpoint clustering does not match the rebuilt scenario; "
                 "was the spec edited?"
             )
-        solver.dofs = dofs.copy()
-        solver.time = float(meta["time"])
-        solver.n_element_updates = int(meta["n_element_updates"])
+        self._restore_solver_state(data, meta)
         self.cycles_done = int(meta["cycles_done"])
         self.wall_s = float(meta.get("wall_s", 0.0))
-        if isinstance(solver, ClusteredLtsSolver):
-            for cluster, step_index in zip(solver.clusters, data["step_index"]):
-                cluster.step_index = int(step_index)
-            solver.buffers.b1 = data["b1"].copy()
-            solver.buffers.b2 = data["b2"].copy()
-            solver.buffers.b3 = data["b3"].copy()
         if self.receivers is not None:
             names = [r.name for r in self.receivers.receivers]
             if names != meta["receiver_names"]:
@@ -533,6 +556,38 @@ class ScenarioRunner:
                 samples = data[f"rec{i}_samples"]
                 receiver.times = [float(t) for t in times]
                 receiver.samples = [np.asarray(row) for row in samples]
+        self._after_restore()
+
+    def _restore_solver_state(self, data, meta: dict) -> None:
+        """Restore the solver-kind-specific dynamic state (see
+        :meth:`_solver_state_arrays`)."""
+        solver = self.solver
+        solver.dofs = data["dofs"].copy()
+        solver.time = float(meta["time"])
+        solver.n_element_updates = int(meta["n_element_updates"])
+        if isinstance(solver, ClusteredLtsSolver):
+            for cluster, step_index in zip(solver.clusters, data["step_index"]):
+                cluster.step_index = int(step_index)
+            solver.buffers.b1 = data["b1"].copy()
+            solver.buffers.b2 = data["b2"].copy()
+            solver.buffers.b3 = data["b3"].copy()
+
+    def _after_restore(self) -> None:
+        """Hook for subclasses that derive state from the restored arrays."""
+
+
+def runner_class_for(spec: ScenarioSpec) -> type:
+    """The runner class a spec asks for (distributed when ``n_ranks > 1``)."""
+    if spec.solver.n_ranks > 1:
+        from ..distributed.runner import DistributedRunner
+
+        return DistributedRunner
+    return ScenarioRunner
+
+
+def make_runner(spec: ScenarioSpec, **kwargs) -> "ScenarioRunner":
+    """Build the right runner for a spec (single-rank or distributed)."""
+    return runner_class_for(spec)(spec, **kwargs)
 
 
 def measure_update_cost(setup: ScenarioSetup, n_cycles: int = 10) -> float:

@@ -312,13 +312,17 @@ class SolverSpec:
 
     ``legacy-lts`` runs the same clustered driver but reports the legacy
     (derivative-communicating) scheme's communication volume in the run
-    summary, for the Sec. IV comparison.
+    summary, for the Sec. IV comparison.  ``n_ranks > 1`` executes the run
+    through the distributed multi-rank engine (weighted partitioning plus
+    face-local compressed halo exchange, Sec. V-C); the result is
+    bit-identical to the single-rank run.
     """
 
     kind: str = "lts"
     n_fused: int = 0
     flux: str = "rusanov"
     cfl: float = 0.5
+    n_ranks: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in SOLVER_KINDS:
@@ -329,6 +333,10 @@ class SolverSpec:
             raise ValueError("flux must be 'rusanov' or 'godunov'")
         if not 0.0 < self.cfl <= 1.0:
             raise ValueError("cfl must lie in (0, 1]")
+        if self.n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if self.n_ranks > 1 and self.kind == "gts":
+            raise ValueError("distributed execution requires a clustered solver (lts/legacy-lts)")
 
 
 @dataclass(frozen=True)
@@ -448,6 +456,7 @@ class ScenarioSpec:
         solver: str | None = None,
         n_fused: int | None = None,
         flux: str | None = None,
+        n_ranks: int | None = None,
         n_cycles: int | None = None,
         t_end: float | None = None,
         checkpoint_every: int | None | str = "keep",
@@ -473,6 +482,8 @@ class ScenarioSpec:
             solver_updates["n_fused"] = n_fused
         if flux is not None:
             solver_updates["flux"] = flux
+        if n_ranks is not None:
+            solver_updates["n_ranks"] = n_ranks
         if solver_updates:
             spec = replace(spec, solver=replace(spec.solver, **solver_updates))
         run_updates = {}
