@@ -128,10 +128,25 @@ class ClusteredLtsSolver:
         if len(cluster.elements) == 0:
             cluster.pending_local_delta = None
             return
+        delta, time_integrated_elastic = self._predict_elements(cluster, cluster.elements)
+        cluster.pending_local_delta = delta
+        cluster.pending_te = time_integrated_elastic
+
+    def _predict_elements(
+        self, cluster: _ClusterData, elements: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The element-local prediction body for a batch of the cluster's
+        elements: CK time kernel, buffer fill, volume + local surface update.
+
+        Shared between the full-cluster ``_predict`` and the distributed
+        rank stepper's boundary/interior split -- every contraction is
+        element-local, so any partition of the batch produces bit-identical
+        per-element results.  Returns ``(local_delta, elastic_time_integral)``.
+        """
         disc = self.disc
-        derivatives = compute_time_derivatives(disc, self.dofs, cluster.elements)
+        derivatives = compute_time_derivatives(disc, self.dofs, elements)
         self.buffers.fill(
-            cluster.elements,
+            elements,
             derivatives,
             cluster.dt,
             cluster.step_index,
@@ -139,14 +154,13 @@ class ClusteredLtsSolver:
         )
         time_integrated = time_integrate(derivatives, 0.0, cluster.dt)
         local_traces = project_local_traces(
-            disc, time_integrated[:, :N_ELASTIC], cluster.elements
+            disc, time_integrated[:, :N_ELASTIC], elements
         )
-        delta = volume_kernel(disc, time_integrated, cluster.elements)
+        delta = volume_kernel(disc, time_integrated, elements)
         delta += surface_kernel_local(
-            disc, time_integrated, cluster.elements, local_traces=local_traces
+            disc, time_integrated, elements, local_traces=local_traces
         )
-        cluster.pending_local_delta = delta
-        cluster.pending_te = time_integrated[:, :N_ELASTIC]
+        return delta, time_integrated[:, :N_ELASTIC]
 
     def _neighbor_coefficients(self, cluster: _ClusterData) -> np.ndarray:
         """Face-basis coefficients of the neighbours' traces for a correction.

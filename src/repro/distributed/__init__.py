@@ -8,12 +8,14 @@ the byte-counting communicator -- bit-identical to the single-rank solver.
 """
 
 from .engine import DistributedLtsEngine
+from .process_engine import ProcessLtsEngine
 from .runner import DistributedRunner
 from .stepper import RankSolver
 from .subdomain import RankSubdomain, SubdomainDisc
 
 __all__ = [
     "DistributedLtsEngine",
+    "ProcessLtsEngine",
     "DistributedRunner",
     "RankSolver",
     "RankSubdomain",

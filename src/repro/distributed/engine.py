@@ -32,7 +32,45 @@ from ..source.receivers import Receiver, ReceiverSet
 from .stepper import RankSolver
 from .subdomain import RankSubdomain
 
-__all__ = ["DistributedLtsEngine"]
+__all__ = ["DistributedLtsEngine", "remap_local_sources", "modelled_exchange_per_cycle"]
+
+
+def remap_local_sources(
+    global_sources: list, partitions: np.ndarray, subdomain: RankSubdomain
+) -> list:
+    """One rank's point sources, element ids remapped to local order.
+
+    Shared by the serial and the process engines so source localisation can
+    never diverge between the backends.
+    """
+    local = []
+    for source in global_sources:
+        if partitions[source.element] != subdomain.rank:
+            continue
+        remapped = copy.copy(source)
+        remapped.element = int(subdomain.local_of_global[source.element])
+        local.append(remapped)
+    return local
+
+
+def modelled_exchange_per_cycle(
+    halo: HaloIndex, clustering: Clustering, order: int, n_fused: int
+) -> dict:
+    """The Fig-10 machine model's view of a halo, for validating measured
+    traffic (shared by both engine backends).
+
+    Payloads travel as float64 (times the fused width), so the model is
+    evaluated at that value size; a distributed run's measured traffic must
+    match these numbers exactly.
+    """
+    return exchange_volumes_per_cycle(
+        halo,
+        clustering.cluster_ids,
+        clustering.n_clusters,
+        order=order,
+        face_local=True,
+        bytes_per_value=8 * max(1, n_fused),
+    )
 
 
 class DistributedLtsEngine:
@@ -87,15 +125,7 @@ class DistributedLtsEngine:
     # construction helpers
     # ------------------------------------------------------------------
     def _local_sources(self, subdomain: RankSubdomain) -> list:
-        """The rank's point sources, element ids remapped to local order."""
-        local = []
-        for source in self._global_sources:
-            if self.partitions[source.element] != subdomain.rank:
-                continue
-            remapped = copy.copy(source)
-            remapped.element = int(subdomain.local_of_global[source.element])
-            local.append(remapped)
-        return local
+        return remap_local_sources(self._global_sources, self.partitions, subdomain)
 
     def rebind_receivers(self) -> None:
         """(Re)build the per-rank receiver shims.
@@ -166,21 +196,23 @@ class DistributedLtsEngine:
     # time stepping
     # ------------------------------------------------------------------
     def step_cycle(self) -> None:
-        """Advance all ranks by one macro cycle with halo exchange."""
+        """Advance all ranks by one macro cycle with overlapped halo exchange.
+
+        Per micro step every rank first predicts only its *boundary* rows,
+        posts the due sends, and predicts the *interior* rows afterwards --
+        the same boundary-first structure the process backend uses to hide
+        message latency behind interior work (here the communicator is
+        instant, so the ordering only proves the structure is sound).
+        """
         n_clusters = self.clustering.n_clusters
         dt0 = float(self.clustering.cluster_time_steps[0])
         for entry in schedule_cycle(n_clusters):
-            s = entry["micro_step"]
             for rank in self.ranks:
-                for l in entry["predict"]:
-                    rank._predict(rank.clusters[l])
+                rank.begin_micro_step(entry)
             for rank in self.ranks:
-                rank.send_due(s)
+                rank.advance_interior(entry)
             for rank in self.ranks:
-                for l in entry["correct"]:
-                    cluster = rank.clusters[l]
-                    start = rank.time + (s + 1) * dt0 - cluster.dt
-                    rank._correct(cluster, start)
+                rank.finish_micro_step(entry, dt0)
         for rank in self.ranks:
             rank.time += self.macro_dt
         self.cycles_stepped += 1
@@ -253,17 +285,7 @@ class DistributedLtsEngine:
         return self.comm.stats
 
     def modelled_exchange_per_cycle(self) -> dict:
-        """The Fig-10 machine model's view of the same halo, for validation.
-
-        Payloads travel as float64 (times the fused width), so the model is
-        evaluated at that value size; a distributed run's measured traffic
-        must match these numbers exactly.
-        """
-        return exchange_volumes_per_cycle(
-            self.halo,
-            self.clustering.cluster_ids,
-            self.clustering.n_clusters,
-            order=self.disc.order,
-            face_local=True,
-            bytes_per_value=8 * max(1, self.n_fused),
+        """The Fig-10 machine model's view of the same halo, for validation."""
+        return modelled_exchange_per_cycle(
+            self.halo, self.clustering, self.disc.order, self.n_fused
         )

@@ -1,15 +1,19 @@
 """Scenario orchestration for distributed (multi-rank) runs.
 
 :class:`DistributedRunner` is a :class:`~repro.scenarios.runner.ScenarioRunner`
-whose execution engine is the multi-rank
-:class:`~repro.distributed.engine.DistributedLtsEngine`: the mesh is split
-with the weighted dual-graph partitioner (update-frequency element weights,
-Sec. V-C), one rank-local clustered-LTS stepper advances each subdomain, and
-partition-boundary data travels as face-local compressed payloads through
-the simulated communicator.  DOFs, seismograms and element-update counts are
-bit-identical to the single-rank runner; the run summary additionally
-reports the *measured* communication traffic next to the machine model's
-prediction for the same halo.
+whose execution engine is multi-rank: the mesh is split with the weighted
+dual-graph partitioner (update-frequency element weights, Sec. V-C), one
+rank-local clustered-LTS stepper advances each subdomain, and
+partition-boundary data travels as face-local compressed payloads.  The
+spec's ``solver.backend`` picks the engine: ``"serial"`` steps the ranks
+in-process through the simulated communicator
+(:class:`~repro.distributed.engine.DistributedLtsEngine`), ``"process"``
+runs one worker process per rank with overlapped halo exchange
+(:class:`~repro.distributed.process_engine.ProcessLtsEngine`).  DOFs,
+seismograms and element-update counts are bit-identical to the single-rank
+runner under either backend; the run summary additionally reports the
+*measured* communication traffic next to the machine model's prediction for
+the same halo.
 
 Checkpoints are written in the single-rank format (per-rank state is
 gathered into global arrays), so distributed and single-rank checkpoints
@@ -24,6 +28,7 @@ from ..kernels.discretization import Discretization
 from ..parallel.partition import element_weights, partition_dual_graph
 from ..scenarios.runner import ScenarioRunner
 from .engine import DistributedLtsEngine
+from .process_engine import ProcessLtsEngine
 
 __all__ = ["DistributedRunner"]
 
@@ -31,12 +36,15 @@ __all__ = ["DistributedRunner"]
 class DistributedRunner(ScenarioRunner):
     """Drives one scenario through the multi-rank execution engine."""
 
-    def _build_solver(self, disc: Discretization, sources: list) -> DistributedLtsEngine:
+    def _build_solver(self, disc: Discretization, sources: list):
         spec = self.spec
         n_ranks = spec.solver.n_ranks
         if n_ranks < 2:
             raise ValueError("DistributedRunner needs solver.n_ranks >= 2")
-        self.engine = DistributedLtsEngine(
+        engine_cls = (
+            ProcessLtsEngine if spec.solver.backend == "process" else DistributedLtsEngine
+        )
+        self.engine = engine_cls(
             disc,
             self.clustering,
             self._partitions(disc, n_ranks),
@@ -62,6 +70,28 @@ class DistributedRunner(ScenarioRunner):
         )
         return partition_dual_graph(disc.mesh.neighbors, weights, n_ranks).partitions
 
+    # -- run lifecycle --------------------------------------------------
+    def run(
+        self,
+        *,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+    ) -> dict:
+        """Run to completion, then release any rank worker processes.
+
+        The process engine caches its state on close, so summaries, output
+        writers and checkpoints keep working after the release -- and
+        stepping again transparently respawns the workers.
+        """
+        try:
+            return super().run(
+                checkpoint_path=checkpoint_path, checkpoint_every=checkpoint_every
+            )
+        finally:
+            close = getattr(self.engine, "close", None)
+            if close is not None:
+                close()
+
     # -- accounting -----------------------------------------------------
     def summary(self) -> dict:
         """Single-rank summary plus measured-vs-modelled communication."""
@@ -72,9 +102,15 @@ class DistributedRunner(ScenarioRunner):
         # counters do not include the pre-checkpoint traffic
         cycles = self.engine.cycles_stepped
         out["n_ranks"] = self.engine.n_ranks
+        out["backend"] = self.spec.solver.backend
         out["comm"] = {
             "cycles_measured": cycles,
             "n_halo_faces": int(self.engine.halo.n_faces),
+            # how much of the mesh sits on partition boundaries -- the work
+            # that cannot be hidden behind the overlap
+            "n_boundary_elements": int(
+                sum(sub.n_boundary_elements for sub in self.engine.subdomains)
+            ),
             "n_messages": stats.n_messages,
             "n_bytes": stats.n_bytes,
             "per_pair": {k: dict(v) for k, v in stats.per_pair.items()},

@@ -2,19 +2,29 @@
 
 A :class:`RankSolver` is a :class:`~repro.core.lts_solver.ClusteredLtsSolver`
 running on one rank's :class:`~repro.distributed.subdomain.RankSubdomain`:
-local DOFs, local LTS buffers, local element-ids everywhere.  Two things are
-added on top of the shared driver logic:
+local DOFs, local LTS buffers, local element-ids everywhere.  Three things
+are added on top of the shared driver logic:
 
+* the prediction of a cluster is split along the subdomain's
+  boundary/interior partition: :meth:`predict_boundary` runs the time
+  kernel, buffer fill and local update for the halo-adjacent rows only, so
+  the due sends can be posted immediately, and :meth:`predict_interior`
+  computes the remaining rows afterwards -- with a process-backed
+  communicator the interior work overlaps the message transfer,
 * :meth:`send_due` ships the face-local compressed halo payloads of the
   current micro step (``9 x F`` values per face -- the buffer data already
   multiplied with the *receiver's* neighbouring flux matrix ``F_bar``), and
 * the :meth:`_neighbor_coefficients` hook overlays the coefficients of
   partition-boundary faces with the freshest received payload before the
-  neighbouring surface kernel runs.
+  neighbouring surface kernel runs.  Each face consumes exactly the
+  statically known number of due messages (:attr:`RecvPlan.counts`), so the
+  receive is deterministic and blocks correctly on asynchronous channels.
 
-Because the sender performs exactly the ``F_bar`` multiplication the
-receiver would have performed on the same buffer values, the distributed
-update is bit-identical to the single-rank solver.
+Because every kernel contraction is element-local, splitting a cluster batch
+into two sub-batches produces bit-identical per-element results, and because
+the sender performs exactly the ``F_bar`` multiplication the receiver would
+have performed on the same buffer values, the distributed update is
+bit-identical to the single-rank solver.
 """
 
 from __future__ import annotations
@@ -23,7 +33,6 @@ import numpy as np
 
 from ..core.clustering import Clustering
 from ..core.lts_solver import ClusteredLtsSolver, _ClusterData
-from ..parallel.communicator import SimulatedCommunicator
 from .subdomain import RankSubdomain
 
 __all__ = ["RankSolver"]
@@ -35,7 +44,7 @@ class RankSolver(ClusteredLtsSolver):
     def __init__(
         self,
         subdomain: RankSubdomain,
-        communicator: SimulatedCommunicator,
+        communicator,
         sources: list | None = None,
         receivers=None,
         n_fused: int = 0,
@@ -51,6 +60,68 @@ class RankSolver(ClusteredLtsSolver):
             receivers=receivers,
             n_fused=n_fused,
         )
+
+    # ------------------------------------------------------------------
+    # split prediction (overlap structure)
+    # ------------------------------------------------------------------
+    def predict_boundary(self, cluster: _ClusterData) -> None:
+        """Predict the halo-adjacent rows of a cluster and stage the batch.
+
+        Allocates the full-batch pending arrays and fills the boundary rows,
+        so the buffers every due send reads from are fresh before
+        :meth:`send_due` runs.
+        """
+        if len(cluster.elements) == 0:
+            cluster.pending_local_delta = None
+            cluster.pending_te = None
+            return
+        cluster.pending_local_delta = np.empty_like(self.dofs[cluster.elements])
+        cluster.pending_te = np.empty_like(
+            self.buffers.b1[cluster.elements]
+        )
+        self._predict_rows(cluster, self.subdomain.boundary_rows[cluster.cluster_id])
+
+    def predict_interior(self, cluster: _ClusterData) -> None:
+        """Predict the purely local rows (overlaps in-flight halo messages)."""
+        if len(cluster.elements) == 0:
+            return
+        self._predict_rows(cluster, self.subdomain.interior_rows[cluster.cluster_id])
+
+    # ------------------------------------------------------------------
+    # the shared micro-step walk (used by the serial engine, which
+    # interleaves ranks per phase, and by the process workers, which run a
+    # whole cycle per rank -- one implementation keeps them in lockstep)
+    # ------------------------------------------------------------------
+    def begin_micro_step(self, entry: dict) -> None:
+        """Boundary predictions of the due clusters plus the due sends."""
+        for l in entry["predict"]:
+            self.predict_boundary(self.clusters[l])
+        self.send_due(entry["micro_step"])
+        flush = getattr(self.comm, "flush", None)
+        if flush is not None:
+            flush()
+
+    def advance_interior(self, entry: dict) -> None:
+        """Interior predictions (overlap: the sends are already in flight)."""
+        for l in entry["predict"]:
+            self.predict_interior(self.clusters[l])
+
+    def finish_micro_step(self, entry: dict, dt0: float) -> None:
+        """Corrections of the clusters whose interval ends after this step."""
+        for l in entry["correct"]:
+            cluster = self.clusters[l]
+            start = self.time + (entry["micro_step"] + 1) * dt0 - cluster.dt
+            self._correct(cluster, start)
+
+    def _predict_rows(self, cluster: _ClusterData, rows: np.ndarray) -> None:
+        """The shared prediction body of ``_predict``, on a batch subset."""
+        if len(rows) == 0:
+            return
+        delta, time_integrated_elastic = self._predict_elements(
+            cluster, cluster.elements[rows]
+        )
+        cluster.pending_local_delta[rows] = delta
+        cluster.pending_te[rows] = time_integrated_elastic
 
     # ------------------------------------------------------------------
     def send_due(self, micro_step: int) -> None:
@@ -79,16 +150,14 @@ class RankSolver(ClusteredLtsSolver):
         """Local coefficients plus the received halo payloads."""
         coeffs = super()._neighbor_coefficients(cluster)
         plan = self.subdomain.recv_plans[cluster.cluster_id]
-        for row, face, src, tag in zip(plan.rows, plan.faces, plan.src_ranks, plan.tags):
-            # drain the channel and keep the freshest payload: a faster
-            # sender refreshes its accumulated B3 twice per receiver step
-            payload = None
-            while self.comm.pending(int(src), self.rank, int(tag)):
+        for row, face, src, tag, count in zip(
+            plan.rows, plan.faces, plan.src_ranks, plan.tags, plan.counts
+        ):
+            # consume the statically known number of due messages and keep
+            # the freshest payload: a faster sender refreshes its accumulated
+            # B3 twice per receiver step.  The count (not a "pending" poll)
+            # is what makes the receive correct on blocking channels.
+            for _ in range(count):
                 payload = self.comm.recv(int(src), self.rank, int(tag))
-            if payload is None:
-                raise RuntimeError(
-                    f"rank {self.rank}: no halo payload from rank {int(src)} "
-                    f"for tag {int(tag)} at correction of cluster {cluster.cluster_id}"
-                )
             coeffs[row, face] = payload
         return coeffs

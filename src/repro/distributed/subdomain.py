@@ -14,7 +14,13 @@ All halo bookkeeping is precomputed here once at setup:
   ``B1 - B2`` following the sub-step parity rules of Fig. 6) to which rank,
   already grouped into vectorised batches, and
 * the *receive plans* list, per cluster, where incoming payloads land in the
-  cluster's neighbour-coefficient array.
+  cluster's neighbour-coefficient array (plus how many messages each face
+  must wait for, so a receiver can block deterministically), and
+* the per-cluster *boundary/interior split*: rows of the cluster batch that
+  own at least one halo face versus purely local rows.  The steppers predict
+  the boundary rows first, post the halo sends, and only then compute the
+  interior rows -- which is what lets a process-backed run hide the message
+  latency behind interior work.
 
 This removes every per-exchange Python-level lookup from the hot path.
 """
@@ -110,12 +116,21 @@ class SendBatch:
 
 @dataclass(frozen=True)
 class RecvPlan:
-    """Where one cluster's incoming halo payloads land during a correction."""
+    """Where one cluster's incoming halo payloads land during a correction.
+
+    ``counts`` is the number of messages due on each face's channel per
+    correction of this cluster (2 when the sender sits in the smaller /
+    faster cluster and refreshes its accumulated ``B3`` twice, 1 otherwise);
+    the receiver consumes exactly that many and keeps the freshest, which
+    works both with the instant in-process mailboxes and with blocking
+    process-backed channels where "pending" cannot be observed race-free.
+    """
 
     rows: np.ndarray  #: (n,) row within the cluster's element batch
     faces: np.ndarray  #: (n,) local face id of the receiving element
     src_ranks: np.ndarray  #: (n,)
     tags: np.ndarray  #: (n,) tag of the matching send
+    counts: np.ndarray  #: (n,) messages due per correction on this channel
 
 
 class RankSubdomain:
@@ -158,6 +173,7 @@ class RankSubdomain:
         self.n_halo_faces = int(ghost.sum())
         self._build_send_schedule(disc, clustering, partitions, own_neighbors, ghost)
         self._build_recv_plans(disc, clustering, partitions, own_neighbors, ghost)
+        self._split_boundary_interior(clustering, ghost)
 
     # ------------------------------------------------------------------
     def _build_send_schedule(
@@ -246,11 +262,36 @@ class RankSubdomain:
                     faces=faces,
                     src_ranks=partitions[senders],
                     tags=senders * 4 + neighbor_faces[batch[rows], faces],
+                    counts=2 ** np.maximum(0, cluster - clustering.cluster_ids[senders]),
                 )
             )
         self.recv_plans = plans
+
+    def _split_boundary_interior(self, clustering: Clustering, ghost: np.ndarray) -> None:
+        """Per-cluster boundary/interior rows of the cluster element batch.
+
+        A *boundary* row owns at least one halo face: its freshly filled
+        buffers feed a send of the current micro step, so it must be
+        predicted before the sends are posted.  All remaining rows are
+        *interior* and can be predicted while the messages are in flight.
+        Rows index the cluster batch in the same ascending-local-id order
+        the per-cluster driver uses.
+        """
+        is_boundary = ghost.any(axis=1)
+        local_cluster_ids = self.clustering.cluster_ids
+        self.boundary_rows: list[np.ndarray] = []
+        self.interior_rows: list[np.ndarray] = []
+        for cluster in range(clustering.n_clusters):
+            batch = np.where(local_cluster_ids == cluster)[0]
+            mask = is_boundary[batch]
+            self.boundary_rows.append(np.where(mask)[0])
+            self.interior_rows.append(np.where(~mask)[0])
 
     # ------------------------------------------------------------------
     @property
     def n_owned(self) -> int:
         return len(self.owned)
+
+    @property
+    def n_boundary_elements(self) -> int:
+        return int(sum(len(rows) for rows in self.boundary_rows))

@@ -11,6 +11,7 @@ from .exchange import (
 )
 from .machine_model import FRONTERA_NODE, MachineNode, ScalingPoint, strong_scaling_study
 from .partition import PartitionResult, element_weights, face_weights, partition_dual_graph
+from .process_comm import ProcessCommunicator
 
 __all__ = [
     "PartitionResult",
@@ -18,6 +19,7 @@ __all__ = [
     "face_weights",
     "partition_dual_graph",
     "SimulatedCommunicator",
+    "ProcessCommunicator",
     "MessageStats",
     "pair_key",
     "HaloFace",

@@ -11,7 +11,7 @@ MPI the real solver needs (point-to-point send/recv and barriers).
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,11 +38,26 @@ class MessageStats:
     per_pair: dict[str, dict[str, int]] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, n_bytes: int) -> None:
+        # coerce to plain int: callers pass numpy sizes (e.g. ndarray.nbytes
+        # on some platforms, or np.int64 volumes) and `int += np.int64`
+        # silently turns the totals into numpy scalars, which json.dumps of
+        # a run summary then rejects
         self.n_messages += 1
-        self.n_bytes += n_bytes
+        self.n_bytes += int(n_bytes)
         entry = self.per_pair.setdefault(pair_key(src, dst), {"messages": 0, "bytes": 0})
         entry["messages"] += 1
         entry["bytes"] += int(n_bytes)
+
+    def merge(self, other: "MessageStats | dict") -> None:
+        """Accumulate another stats object (e.g. one rank's worker-side
+        counters) into this one."""
+        data = other.as_dict() if isinstance(other, MessageStats) else other
+        self.n_messages += int(data["n_messages"])
+        self.n_bytes += int(data["n_bytes"])
+        for pair, entry in data["per_pair"].items():
+            mine = self.per_pair.setdefault(pair, {"messages": 0, "bytes": 0})
+            mine["messages"] += int(entry["messages"])
+            mine["bytes"] += int(entry["bytes"])
 
     def as_dict(self) -> dict:
         """JSON-native snapshot of the accumulated statistics."""
@@ -65,7 +80,7 @@ class SimulatedCommunicator:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
         self.n_ranks = n_ranks
-        self._mailboxes: dict[tuple[int, int, int], list[np.ndarray]] = defaultdict(list)
+        self._mailboxes: dict[tuple[int, int, int], deque[np.ndarray]] = defaultdict(deque)
         self.stats = MessageStats()
 
     def send(self, payload: np.ndarray, src: int, dst: int, tag: int = 0) -> None:
@@ -83,7 +98,7 @@ class SimulatedCommunicator:
         queue = self._mailboxes[(src, dst, tag)]
         if not queue:
             raise RuntimeError(f"no pending message from rank {src} to rank {dst} (tag {tag})")
-        return queue.pop(0)
+        return queue.popleft()
 
     def pending(self, src: int, dst: int, tag: int = 0) -> int:
         """Number of undelivered messages on a channel."""

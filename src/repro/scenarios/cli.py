@@ -8,8 +8,10 @@
     python -m repro run bimaterial_slab --set contrast=3.0 --output-dir out/
     python -m repro run la_habra --smoke
     python -m repro run loh3 --smoke --ranks 2
+    python -m repro run loh3 --smoke --ranks 2 --backend process
     python -m repro run loh3 --checkpoint run.ckpt.npz --checkpoint-every 1
     python -m repro resume run.ckpt.npz
+    python -m repro resume run.ckpt.npz --backend process --checkpoint-every 2
 
 (also installed as the ``repro`` console script).
 """
@@ -81,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, help="mesh jitter seed")
     run.add_argument("--ranks", type=int,
                      help="number of ranks of the distributed engine (default 1)")
+    run.add_argument("--backend", choices=("serial", "process"),
+                     help="distributed execution backend: 'serial' steps the ranks "
+                          "in-process, 'process' runs one worker process per rank "
+                          "with overlapped halo exchange (default serial)")
     run.add_argument("--partitions", type=int, help="partition count (enables reordering)")
     run.add_argument("--reorder", action="store_true",
                      help="reorder elements by (partition, cluster, role)")
@@ -95,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     resume = sub.add_parser("resume", help="resume a checkpointed run")
     resume.add_argument("checkpoint", help="checkpoint file written by 'run --checkpoint'")
+    resume.add_argument("--backend", choices=("serial", "process"),
+                        help="override the checkpointed execution backend "
+                             "(backends are bit-identical)")
+    resume.add_argument("--checkpoint-every", type=int, metavar="N",
+                        help="new checkpoint cadence in macro cycles "
+                             "(0 disables; default: the checkpointed spec's cadence)")
     resume.add_argument("--output-dir", metavar="DIR")
     resume.add_argument("--quiet", action="store_true")
 
@@ -139,9 +151,12 @@ def _resolve_spec(args) -> ScenarioSpec:
         solver=args.solver,
         n_fused=args.fused,
         n_ranks=args.ranks,
+        backend=args.backend,
         n_cycles=args.cycles,
         t_end=args.t_end,
-        checkpoint_every=args.checkpoint_every if args.checkpoint_every else "keep",
+        # explicit None test: --checkpoint-every 0 means "disable cadence
+        # checkpointing", which a falsy check would silently coerce to "keep"
+        checkpoint_every=args.checkpoint_every if args.checkpoint_every is not None else "keep",
         n_partitions=args.partitions,
         reorder=True if (args.reorder or args.partitions) else None,
         seed=args.seed,
@@ -196,7 +211,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_resume(args) -> int:
     try:
-        runner = ScenarioRunner.resume(args.checkpoint)
+        runner = ScenarioRunner.resume(args.checkpoint, backend=args.backend)
     except (KeyError, ValueError, TypeError, OSError) as error:
         return _input_error(error)
     if not args.quiet:
@@ -205,7 +220,10 @@ def _cmd_resume(args) -> int:
             f"{runner.total_cycles} (t = {runner.solver.time:.4f} s)",
             file=sys.stderr,
         )
-    summary = runner.run(checkpoint_path=args.checkpoint)
+    summary = runner.run(
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
     return _finish(runner, summary, args.output_dir, args.quiet)
 
 

@@ -377,11 +377,13 @@ class ScenarioRunner:
         """Run the remaining macro cycles; returns the run summary.
 
         With ``checkpoint_path`` set, a checkpoint is written every
-        ``checkpoint_every`` cycles (default: the spec's cadence) and after
-        the final cycle.
+        ``checkpoint_every`` cycles (default: the spec's cadence; 0 disables
+        the cadence) and after the final cycle -- unless the cadence already
+        wrote it, so the same state is never serialised twice back-to-back.
         """
         if checkpoint_every is None:
             checkpoint_every = self.spec.run.checkpoint_every
+        last_saved_at = None
         while self.cycles_done < self.total_cycles:
             # checkpoint I/O stays outside the timed region so wall_s and
             # element_updates_per_s are comparable to uncheckpointed runs
@@ -394,7 +396,8 @@ class ScenarioRunner:
                 and self.cycles_done % checkpoint_every == 0
             ):
                 self.save_checkpoint(checkpoint_path)
-        if checkpoint_path is not None:
+                last_saved_at = self.cycles_done
+        if checkpoint_path is not None and last_saved_at != self.cycles_done:
             self.save_checkpoint(checkpoint_path)
         return self.summary()
 
@@ -493,13 +496,16 @@ class ScenarioRunner:
         }
 
     @classmethod
-    def resume(cls, path) -> "ScenarioRunner":
+    def resume(cls, path, *, backend: str | None = None) -> "ScenarioRunner":
         """Rebuild a runner from a checkpoint; continuation is bit-identical
         to the uninterrupted run.
 
         The runner class follows the checkpointed spec: a spec with
         ``solver.n_ranks > 1`` resumes as a distributed run (and vice versa),
-        regardless of which class this is called on.
+        regardless of which class this is called on.  ``backend`` overrides
+        the checkpointed execution backend (``"serial"``/``"process"``) --
+        backends are bit-identical, so a run checkpointed under one can
+        resume under the other.
         """
         with np.load(path) as data:
             meta = json.loads(str(data["meta"]))
@@ -508,6 +514,8 @@ class ScenarioRunner:
                     f"unsupported checkpoint format {meta['format_version']}"
                 )
             spec = ScenarioSpec.from_dict(meta["spec"])
+            if backend is not None:
+                spec = spec.with_overrides(backend=backend)
             runner_cls = runner_class_for(spec)
             restored = Clustering(
                 cluster_ids=data["cluster_ids"].copy(),

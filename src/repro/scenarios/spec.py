@@ -41,6 +41,7 @@ __all__ = [
     "RunSpec",
     "ScenarioSpec",
     "SOLVER_KINDS",
+    "SOLVER_BACKENDS",
     "VELOCITY_MODEL_KINDS",
     "TIME_FUNCTION_KINDS",
     "SOURCE_KINDS",
@@ -50,6 +51,7 @@ __all__ = [
 ]
 
 SOLVER_KINDS = ("gts", "lts", "legacy-lts")
+SOLVER_BACKENDS = ("serial", "process")
 VELOCITY_MODEL_KINDS = ("loh3", "la_habra_basin", "homogeneous", "layered")
 TIME_FUNCTION_KINDS = ("ricker", "gaussian_derivative", "smoothed_step")
 SOURCE_KINDS = ("moment_tensor", "point_force")
@@ -315,7 +317,10 @@ class SolverSpec:
     summary, for the Sec. IV comparison.  ``n_ranks > 1`` executes the run
     through the distributed multi-rank engine (weighted partitioning plus
     face-local compressed halo exchange, Sec. V-C); the result is
-    bit-identical to the single-rank run.
+    bit-identical to the single-rank run.  ``backend`` selects how the ranks
+    execute: ``"serial"`` steps them in-process through the simulated
+    communicator, ``"process"`` runs one worker process per rank with real
+    overlapped halo exchange -- results are bit-identical either way.
     """
 
     kind: str = "lts"
@@ -323,6 +328,7 @@ class SolverSpec:
     flux: str = "rusanov"
     cfl: float = 0.5
     n_ranks: int = 1
+    backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.kind not in SOLVER_KINDS:
@@ -337,6 +343,10 @@ class SolverSpec:
             raise ValueError("need at least one rank")
         if self.n_ranks > 1 and self.kind == "gts":
             raise ValueError("distributed execution requires a clustered solver (lts/legacy-lts)")
+        if self.backend not in SOLVER_BACKENDS:
+            raise ValueError(f"solver backend must be one of {SOLVER_BACKENDS}")
+        if self.backend == "process" and self.n_ranks < 2:
+            raise ValueError("the process backend requires n_ranks >= 2 (pass --ranks)")
 
 
 @dataclass(frozen=True)
@@ -357,7 +367,12 @@ class PreprocessingSpec:
 
 @dataclass(frozen=True)
 class RunSpec:
-    """Run duration: either ``n_cycles`` macro cycles or a target time."""
+    """Run duration: either ``n_cycles`` macro cycles or a target time.
+
+    ``checkpoint_every = 0`` explicitly disables cadence checkpointing (it
+    normalises to ``None``), so a CLI override of ``--checkpoint-every 0``
+    can switch a spec's cadence off.
+    """
 
     n_cycles: int | None = 4
     t_end: float | None = None
@@ -370,8 +385,11 @@ class RunSpec:
             raise ValueError("n_cycles must be positive")
         if self.t_end is not None and self.t_end <= 0:
             raise ValueError("t_end must be positive")
-        if self.checkpoint_every is not None and self.checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be positive")
+        if self.checkpoint_every is not None:
+            if self.checkpoint_every < 0:
+                raise ValueError("checkpoint_every must be non-negative")
+            if self.checkpoint_every == 0:
+                object.__setattr__(self, "checkpoint_every", None)
 
 
 @dataclass(frozen=True)
@@ -457,6 +475,7 @@ class ScenarioSpec:
         n_fused: int | None = None,
         flux: str | None = None,
         n_ranks: int | None = None,
+        backend: str | None = None,
         n_cycles: int | None = None,
         t_end: float | None = None,
         checkpoint_every: int | None | str = "keep",
@@ -484,6 +503,8 @@ class ScenarioSpec:
             solver_updates["flux"] = flux
         if n_ranks is not None:
             solver_updates["n_ranks"] = n_ranks
+        if backend is not None:
+            solver_updates["backend"] = backend
         if solver_updates:
             spec = replace(spec, solver=replace(spec.solver, **solver_updates))
         run_updates = {}

@@ -1,0 +1,234 @@
+"""Tests of the process-per-rank backend and the overlap restructure.
+
+The central claims:
+
+* the per-cluster boundary/interior split is a true partition, every halo
+  send reads from a boundary element, and the receive plans' static message
+  counts account for exactly the modelled per-cycle traffic,
+* a ``--backend process`` run (one worker process per rank, overlapped halo
+  exchange) produces DOFs, seismograms, element-update counts and per-pair
+  measured traffic bit-identical to the serial backend and the single-rank
+  runner, for 2 and 4 ranks,
+* checkpoints are interchangeable across backends: write under ``serial``,
+  resume under ``process`` (and vice versa), bit-identically, and
+* the engine survives its worker lifecycle: state reads after ``close()``
+  are served from the cache and stepping again respawns the workers.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed import DistributedRunner, ProcessLtsEngine
+from repro.scenarios import ScenarioRunner, ScenarioSpec, get_scenario, make_runner
+from repro.scenarios.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def tiny_loh3():
+    """A small 2-cluster LOH.3 variant exercising all buffer relations."""
+    return get_scenario(
+        "loh3",
+        extent_m=4000.0,
+        characteristic_length=2000.0,
+        order=2,
+        n_mechanisms=1,
+        lam=1.0,
+        n_clusters=2,
+        n_cycles=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def single_run(tiny_loh3):
+    runner = ScenarioRunner(tiny_loh3)
+    runner.run()
+    return runner
+
+
+@pytest.fixture(scope="module")
+def serial_run(tiny_loh3):
+    runner = make_runner(tiny_loh3.with_overrides(n_ranks=2))
+    runner.run()
+    return runner
+
+
+class TestOverlapStructure:
+    def test_boundary_interior_rows_partition_each_cluster(self, serial_run):
+        for sub in serial_run.engine.subdomains:
+            ghost_elements = set()
+            for batches in sub.send_schedule:
+                for batch in batches:
+                    ghost_elements.update(batch.local_elements.tolist())
+            for cluster in range(serial_run.clustering.n_clusters):
+                batch = np.where(sub.clustering.cluster_ids == cluster)[0]
+                boundary = sub.boundary_rows[cluster]
+                interior = sub.interior_rows[cluster]
+                merged = np.sort(np.concatenate([boundary, interior]))
+                np.testing.assert_array_equal(merged, np.arange(len(batch)))
+                # every sending element of this cluster is a boundary row
+                sending = ghost_elements & set(batch.tolist())
+                assert sending == set(batch[boundary].tolist())
+
+    def test_recv_counts_cover_the_model_message_count(self, serial_run):
+        engine = serial_run.engine
+        n_clusters = serial_run.clustering.n_clusters
+        model = engine.modelled_exchange_per_cycle()
+        expected = 0
+        for sub in engine.subdomains:
+            for cluster, plan in enumerate(sub.recv_plans):
+                corrections_per_cycle = 2 ** (n_clusters - 1 - cluster)
+                expected += corrections_per_cycle * int(plan.counts.sum())
+        assert expected == model["n_messages"]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_ranks", [2, 4])
+    def test_process_matches_serial_and_single_rank(
+        self, tiny_loh3, single_run, n_ranks
+    ):
+        spec = tiny_loh3.with_overrides(n_ranks=n_ranks)
+        serial = make_runner(spec)
+        serial_summary = serial.run()
+        process = make_runner(spec.with_overrides(backend="process"))
+        assert isinstance(process, DistributedRunner)
+        assert isinstance(process.engine, ProcessLtsEngine)
+        process_summary = process.run()
+
+        np.testing.assert_array_equal(process.solver.dofs, serial.solver.dofs)
+        np.testing.assert_array_equal(process.solver.dofs, single_run.solver.dofs)
+        assert np.abs(process.solver.dofs).max() > 0.0, "the run must move"
+        assert (
+            process_summary["element_updates"]
+            == serial_summary["element_updates"]
+            == single_run.solver.n_element_updates
+        )
+        for name in ("receiver_9", "epicentre"):
+            t_single, v_single = single_run.receivers[name].seismogram()
+            t_proc, v_proc = process.receivers[name].seismogram()
+            np.testing.assert_array_equal(t_proc, t_single)
+            np.testing.assert_array_equal(v_proc, v_single)
+        # measured traffic: process == serial, entry by entry, and == model
+        assert process_summary["comm"]["per_pair"] == serial_summary["comm"]["per_pair"]
+        model = process_summary["comm"]["model"]
+        assert process_summary["comm"]["measured_bytes_per_cycle"] == model["total_bytes"]
+        assert (
+            process_summary["comm"]["measured_messages_per_cycle"] == model["n_messages"]
+        )
+        assert process_summary["backend"] == "process"
+        json.dumps(process_summary)  # embeds without a custom encoder
+
+
+class TestCheckpointAcrossBackends:
+    def test_serial_checkpoint_resumes_under_process(self, tiny_loh3, serial_run, tmp_path):
+        path = tmp_path / "serial.ckpt.npz"
+        interrupted = make_runner(tiny_loh3.with_overrides(n_ranks=2))
+        while interrupted.cycles_done < 2:
+            interrupted.step_cycle()
+        interrupted.save_checkpoint(path)
+        del interrupted
+
+        resumed = ScenarioRunner.resume(path, backend="process")
+        assert isinstance(resumed.engine, ProcessLtsEngine)
+        assert resumed.cycles_done == 2
+        resumed.run()
+        np.testing.assert_array_equal(resumed.solver.dofs, serial_run.solver.dofs)
+        assert resumed.solver.n_element_updates == serial_run.solver.n_element_updates
+        for name in ("receiver_9", "epicentre"):
+            t_full, v_full = serial_run.receivers[name].seismogram()
+            t_res, v_res = resumed.receivers[name].seismogram()
+            np.testing.assert_array_equal(t_res, t_full)
+            np.testing.assert_array_equal(v_res, v_full)
+
+    def test_process_checkpoint_resumes_under_serial(self, tiny_loh3, serial_run, tmp_path):
+        path = tmp_path / "process.ckpt.npz"
+        interrupted = make_runner(
+            tiny_loh3.with_overrides(n_ranks=2, backend="process")
+        )
+        while interrupted.cycles_done < 2:
+            interrupted.step_cycle()
+        interrupted.save_checkpoint(path)
+        interrupted.engine.close()
+        del interrupted
+
+        resumed = ScenarioRunner.resume(path, backend="serial")
+        assert resumed.spec.solver.backend == "serial"
+        resumed.run()
+        np.testing.assert_array_equal(resumed.solver.dofs, serial_run.solver.dofs)
+
+
+class TestEngineLifecycle:
+    def test_close_serves_cached_state_and_respawns(self, tiny_loh3):
+        runner = make_runner(tiny_loh3.with_overrides(n_ranks=2, backend="process"))
+        engine = runner.engine
+        runner.step_cycle()
+        stats_before = engine.stats.as_dict()
+        dofs_before = engine.dofs.copy()
+        engine.close()
+        assert not engine._alive
+        # reads come from the cache
+        np.testing.assert_array_equal(engine.dofs, dofs_before)
+        assert engine.stats.as_dict() == stats_before
+        # stepping respawns the workers and continues bit-identically
+        runner.step_cycle()
+        assert engine._alive
+        reference = make_runner(tiny_loh3.with_overrides(n_ranks=2))
+        reference.step_cycle()
+        reference.step_cycle()
+        np.testing.assert_array_equal(engine.dofs, reference.solver.dofs)
+        # pre-close traffic survives the respawn
+        assert engine.stats.n_messages == reference.engine.stats.n_messages
+        engine.close()
+
+    def test_worker_death_fails_loudly_instead_of_respawning_blank(self, tiny_loh3):
+        runner = make_runner(tiny_loh3.with_overrides(n_ranks=2, backend="process"))
+        engine = runner.engine
+        runner.step_cycle()
+        engine._procs[0].terminate()
+        engine._procs[0].join()
+        with pytest.raises(RuntimeError, match="worker"):
+            runner.step_cycle()
+        # the dynamic state died with the worker: no silent zero-state respawn
+        with pytest.raises(RuntimeError, match="lost its workers"):
+            runner.step_cycle()
+
+
+class TestSpecAndCli:
+    def test_backend_round_trips_through_json(self, tiny_loh3):
+        spec = tiny_loh3.with_overrides(n_ranks=2, backend="process")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        assert spec.solver.backend == "process"
+
+    def test_process_backend_requires_ranks(self, tiny_loh3):
+        with pytest.raises(ValueError, match="n_ranks >= 2"):
+            tiny_loh3.with_overrides(backend="process")
+
+    def test_unknown_backend_rejected(self, tiny_loh3):
+        with pytest.raises(ValueError, match="backend"):
+            tiny_loh3.with_overrides(n_ranks=2, backend="threads")
+
+    def test_cli_run_with_process_backend(self, tmp_path):
+        out_dir = tmp_path / "out"
+        code = cli_main(
+            [
+                "run",
+                "loh3",
+                "--set", "extent_m=4000.0",
+                "--set", "characteristic_length=2000.0",
+                "--set", "n_mechanisms=1",
+                "--order", "2",
+                "--clusters", "2",
+                "--lambda", "1.0",
+                "--cycles", "1",
+                "--ranks", "2",
+                "--backend", "process",
+                "--output-dir", str(out_dir),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        summary = json.loads((out_dir / "run_summary.json").read_text())
+        assert summary["backend"] == "process"
+        assert summary["n_ranks"] == 2
+        assert summary["comm"]["n_messages"] > 0

@@ -1,11 +1,15 @@
 """Unit tests for partitioning, communication accounting and the scaling model."""
 
+import json
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from repro.core.clustering import derive_clustering
 from repro.mesh.generation import box_mesh
-from repro.parallel.communicator import SimulatedCommunicator
+from repro.parallel.communicator import MessageStats, SimulatedCommunicator
+from repro.parallel.process_comm import ProcessCommunicator
 from repro.parallel.exchange import build_halo, exchange_face_data, exchange_volumes_per_cycle
 from repro.parallel.machine_model import FRONTERA_NODE, strong_scaling_study
 from repro.parallel.partition import (
@@ -100,6 +104,111 @@ class TestCommunicator:
             comm.send(np.zeros(1), src=0, dst=5)
         with pytest.raises(ValueError):
             SimulatedCommunicator(0)
+
+    def test_recv_order_is_fifo_per_channel(self):
+        comm = SimulatedCommunicator(2)
+        for value in (1.0, 2.0, 3.0):
+            comm.send(np.full(2, value), src=0, dst=1, tag=4)
+        assert comm.pending(0, 1, 4) == 3
+        assert [comm.recv(0, 1, 4)[0] for _ in range(3)] == [1.0, 2.0, 3.0]
+
+
+class TestMessageStats:
+    def test_totals_stay_json_native_with_numpy_sizes(self):
+        """Totals must be coerced like the per-pair counters: numpy int
+        sizes would otherwise turn ``n_bytes`` into ``np.int64`` and crash
+        the ``json.dumps`` of a run summary."""
+        stats = MessageStats()
+        stats.record(0, 1, np.int64(720))
+        stats.record(0, 1, np.int64(80))
+        assert type(stats.n_bytes) is int
+        assert type(stats.n_messages) is int
+        round_tripped = json.loads(json.dumps(stats.as_dict()))
+        assert round_tripped["n_bytes"] == 800
+        assert round_tripped["per_pair"]["0->1"] == {"messages": 2, "bytes": 800}
+
+    def test_merge_accumulates_objects_and_dicts(self):
+        a, b = MessageStats(), MessageStats()
+        a.record(0, 1, 10)
+        b.record(0, 1, 5)
+        b.record(1, 0, 7)
+        a.merge(b)
+        a.merge(b.as_dict())
+        assert a.n_messages == 5
+        assert a.n_bytes == 34
+        assert a.per_pair["0->1"] == {"messages": 3, "bytes": 20}
+        assert a.per_pair["1->0"] == {"messages": 2, "bytes": 14}
+
+
+def _wire_process_comms(n_ranks: int = 2, timeout: float = 10.0):
+    """In-process ProcessCommunicator endpoints sharing real queues."""
+    ctx = multiprocessing.get_context()
+    inbound = [ctx.Queue() for _ in range(n_ranks)]
+    return [
+        ProcessCommunicator(
+            rank,
+            n_ranks,
+            inbound[rank],
+            {dst: inbound[dst] for dst in range(n_ranks) if dst != rank},
+            timeout=timeout,
+        )
+        for rank in range(n_ranks)
+    ]
+
+
+class TestProcessCommunicator:
+    def test_send_recv_roundtrip_and_accounting(self):
+        sender, receiver = _wire_process_comms()
+        payload = np.arange(10, dtype=np.float64)
+        sender.send(payload, src=0, dst=1, tag=3)
+        assert not sender.all_delivered()  # staged, not yet flushed
+        sender.flush()
+        assert sender.all_delivered()
+        received = receiver.recv(src=0, dst=1, tag=3)
+        np.testing.assert_array_equal(received, payload)
+        assert sender.stats.n_messages == 1
+        assert sender.stats.n_bytes == payload.nbytes
+        assert sender.stats.per_pair["0->1"] == {"messages": 1, "bytes": payload.nbytes}
+        assert receiver.all_delivered()
+
+    def test_per_channel_fifo_across_interleaved_tags(self):
+        sender, receiver = _wire_process_comms()
+        sender.send(np.full(1, 1.0), src=0, dst=1, tag=7)
+        sender.send(np.full(1, 9.0), src=0, dst=1, tag=8)
+        sender.flush()
+        sender.send(np.full(1, 2.0), src=0, dst=1, tag=7)
+        sender.flush()
+        assert receiver.recv(0, 1, tag=7)[0] == 1.0
+        assert receiver.recv(0, 1, tag=8)[0] == 9.0
+        assert receiver.recv(0, 1, tag=7)[0] == 2.0
+        assert receiver.all_delivered()
+
+    def test_flush_batches_one_item_per_destination(self):
+        comms = _wire_process_comms(n_ranks=3)
+        sender = comms[0]
+        for tag in range(4):
+            sender.send(np.full((2, 3), float(tag)), src=0, dst=1, tag=tag)
+        sender.send(np.zeros((2, 3)), src=0, dst=2, tag=0)
+        sender.flush()
+        # one stacked queue item per destination, messages still per face
+        src, tags, stacked = comms[1]._inbound.get(timeout=5.0)
+        assert src == 0 and stacked.shape == (4, 2, 3)
+        np.testing.assert_array_equal(tags, np.arange(4))
+        assert sender.stats.n_messages == 5
+
+    def test_recv_times_out_loudly_without_a_sender(self):
+        _, receiver = _wire_process_comms(timeout=0.2)
+        with pytest.raises(RuntimeError, match="no halo payload"):
+            receiver.recv(src=0, dst=1, tag=0)
+
+    def test_endpoint_validation(self):
+        sender, receiver = _wire_process_comms()
+        with pytest.raises(ValueError, match="cannot send as"):
+            sender.send(np.zeros(1), src=1, dst=0)
+        with pytest.raises(ValueError, match="cannot receive for"):
+            receiver.recv(src=0, dst=0)
+        with pytest.raises(ValueError, match="out of range"):
+            sender.send(np.zeros(1), src=0, dst=5)
 
 
 class TestHaloExchange:

@@ -153,6 +153,49 @@ class TestCheckpointRestart:
         resumed.run()
         np.testing.assert_array_equal(resumed.solver.dofs, full.solver.dofs)
 
+    def _counting_runner(self, runner, path, monkeypatch):
+        """Wrap ``save_checkpoint`` to record at which cycles it writes."""
+        calls = []
+        original = runner.save_checkpoint
+
+        def counting(target):
+            calls.append(runner.cycles_done)
+            original(target)
+
+        monkeypatch.setattr(runner, "save_checkpoint", counting)
+        return calls
+
+    def test_final_checkpoint_not_written_twice(self, tiny_plane_wave, tmp_path, monkeypatch):
+        """When the last cycle coincides with the cadence the same state used
+        to be serialised twice back-to-back."""
+        path = tmp_path / "dedup.ckpt.npz"
+        runner = ScenarioRunner(tiny_plane_wave)  # 3 cycles
+        calls = self._counting_runner(runner, path, monkeypatch)
+        runner.run(checkpoint_path=path, checkpoint_every=1)
+        assert calls == [1, 2, 3]  # one write per cycle, no duplicate final
+
+    def test_checkpoint_every_zero_disables_cadence(self, tiny_plane_wave, tmp_path, monkeypatch):
+        path = tmp_path / "nocadence.ckpt.npz"
+        spec = tiny_plane_wave.with_overrides(checkpoint_every=1)
+        runner = ScenarioRunner(spec)
+        calls = self._counting_runner(runner, path, monkeypatch)
+        runner.run(checkpoint_path=path, checkpoint_every=0)
+        assert calls == [runner.total_cycles]  # only the final write
+
+    def test_resume_with_a_new_cadence(self, tiny_loh3, tmp_path, monkeypatch):
+        """A resumed run can change its checkpoint cadence instead of
+        inheriting the spec's."""
+        path = tmp_path / "cadence.ckpt.npz"
+        runner = ScenarioRunner(tiny_loh3)  # 4 cycles
+        runner.step_cycle()
+        runner.save_checkpoint(path)
+
+        resumed = ScenarioRunner.resume(path)
+        calls = self._counting_runner(resumed, path, monkeypatch)
+        resumed.run(checkpoint_path=path, checkpoint_every=2)
+        # cadence writes at cycles 2 and 4; the final write is the cadence's
+        assert calls == [2, 4]
+
     def test_checkpoint_path_without_npz_suffix(self, tiny_plane_wave, tmp_path):
         path = tmp_path / "my.ckpt"  # savez would silently write my.ckpt.npz
         runner = ScenarioRunner(tiny_plane_wave)
@@ -248,3 +291,41 @@ class TestCli:
 
     def test_run_smoke_flag(self, capsys):
         assert cli_main(["run", "homogeneous_halfspace", "--smoke", "--quiet"]) == 0
+
+    def test_checkpoint_every_zero_is_not_coerced_to_keep(self, tmp_path):
+        """``--checkpoint-every 0`` must disable the spec's cadence (a falsy
+        check used to silently keep it)."""
+        from repro.scenarios.cli import _resolve_spec, build_parser
+
+        spec = get_scenario(
+            "plane_wave", extent_m=1500.0, characteristic_length=750.0, order=2, n_cycles=1
+        ).with_overrides(checkpoint_every=3)
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(spec.to_json())
+
+        parser = build_parser()
+        kept = _resolve_spec(parser.parse_args(["run", "--spec", str(spec_file)]))
+        assert kept.run.checkpoint_every == 3
+        disabled = _resolve_spec(
+            parser.parse_args(["run", "--spec", str(spec_file), "--checkpoint-every", "0"])
+        )
+        assert disabled.run.checkpoint_every is None
+
+    def test_resume_accepts_a_new_cadence(self, tmp_path):
+        ckpt = tmp_path / "cadence.ckpt.npz"
+        assert cli_main(
+            [
+                "run",
+                "plane_wave",
+                "--set", "extent_m=1500.0",
+                "--set", "characteristic_length=750.0",
+                "--order", "2",
+                "--cycles", "2",
+                "--checkpoint", str(ckpt),
+                "--checkpoint-every", "1",
+                "--quiet",
+            ]
+        ) == 0
+        assert cli_main(
+            ["resume", str(ckpt), "--checkpoint-every", "0", "--quiet"]
+        ) == 0

@@ -110,6 +110,19 @@ class TestValidation:
         with pytest.raises(ValueError):
             RunSpec(n_cycles=None, t_end=None)
 
+    def test_checkpoint_every_zero_normalises_to_disabled(self):
+        assert RunSpec(n_cycles=1, checkpoint_every=0).checkpoint_every is None
+        assert RunSpec(n_cycles=1, checkpoint_every=2).checkpoint_every == 2
+        with pytest.raises(ValueError, match="non-negative"):
+            RunSpec(n_cycles=1, checkpoint_every=-1)
+
+    def test_solver_backend_validation(self):
+        assert SolverSpec(n_ranks=2, backend="process").backend == "process"
+        with pytest.raises(ValueError, match="backend"):
+            SolverSpec(backend="threads")
+        with pytest.raises(ValueError, match="n_ranks >= 2"):
+            SolverSpec(n_ranks=1, backend="process")
+
     def test_numpy_params_are_normalised(self):
         import numpy as np
 
