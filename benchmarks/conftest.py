@@ -9,6 +9,9 @@ from a single run of ``pytest benchmarks/ --benchmark-only``.
 from __future__ import annotations
 
 import json
+import os
+import platform
+import sys
 from pathlib import Path
 
 import numpy as np
@@ -41,6 +44,21 @@ def record_result(name: str, payload: dict) -> None:
     print(f"\n[{name}] " + json.dumps(_convert(payload), indent=2))
 
 
+def host_metadata() -> dict:
+    """Host facts stamped into every committed perf point.
+
+    Wall-clock numbers are only comparable on similar hosts; the stamp (cpu
+    count, numpy/python versions, platform) lets the perf trajectory across
+    PRs separate code changes from host changes.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
+
+
 def record_bench(
     name: str,
     *,
@@ -53,8 +71,10 @@ def record_bench(
 
     Unlike the (gitignored) figure payloads these small files are committed:
     they carry the three headline quantities -- wall time, element-update
-    throughput, communication bytes -- and form the perf trajectory that is
-    tracked across PRs.
+    throughput, communication bytes -- plus the host metadata stamp, and
+    form the perf trajectory that is tracked across PRs.  Extra keyword
+    arguments (e.g. ``kernels=...``, ``precision=...``, per-variant wall
+    clocks) are stored verbatim.
     """
     payload = {"bench": name}
     if wall_s is not None:
@@ -64,6 +84,7 @@ def record_bench(
     if comm_bytes is not None:
         payload["comm_bytes"] = float(comm_bytes)
     payload.update(extra)
+    payload["host"] = host_metadata()
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(_convert(payload), indent=2) + "\n")

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..kernels.ader import time_integrate
+from ..kernels.backend import ReferenceBackend
 from ..kernels.discretization import Discretization, N_ELASTIC
 
 __all__ = ["LtsBuffers"]
+
+_REFERENCE = ReferenceBackend()
 
 #: relation codes of a face neighbour's cluster w.r.t. the element's cluster
 SAME, SMALLER, LARGER, BOUNDARY = 0, -1, 1, -2
@@ -32,7 +34,9 @@ SAME, SMALLER, LARGER, BOUNDARY = 0, -1, 1, -2
 class LtsBuffers:
     """Buffer storage and the buffer update/read rules of the LTS scheme."""
 
-    def __init__(self, disc: Discretization, n_fused: int = 0, dtype=np.float64):
+    def __init__(self, disc: Discretization, n_fused: int = 0, dtype=None):
+        if dtype is None:
+            dtype = getattr(disc, "dtype", np.float64)
         shape: tuple[int, ...] = (disc.n_elements, N_ELASTIC, disc.n_basis)
         if n_fused > 0:
             shape = shape + (n_fused,)
@@ -47,6 +51,9 @@ class LtsBuffers:
         dt: float,
         step_index: int,
         needs_half: bool = True,
+        backend=None,
+        ws=None,
+        elastic_integral: np.ndarray | None = None,
     ) -> None:
         """Fill the buffers of ``elements`` after their time prediction (eq. 17).
 
@@ -62,12 +69,31 @@ class LtsBuffers:
         needs_half:
             Whether ``B2`` is required (only if a smaller-step neighbour
             exists); computing it unconditionally is allowed but wasteful.
+        backend / ws:
+            Optional kernel backend (and its scratch workspace): a
+            workspace-backed backend integrates into reused scratch arrays
+            instead of allocating per fill (the default is the reference
+            backend, i.e. exactly the pre-backend behaviour).
+        elastic_integral:
+            Optionally the already-computed elastic full-interval integral
+            (the ``[:, :9]`` slice of the prediction's time-integrated DOFs).
+            Taylor integration is elementwise, so reusing it is bit-identical
+            to re-integrating the elastic derivative slices; only the
+            half-interval ``B2`` then needs a fresh integration.
         """
+        backend = backend or _REFERENCE
         elastic_derivatives = [d[:, :N_ELASTIC] for d in derivatives]
-        full = time_integrate(elastic_derivatives, 0.0, dt)
-        self.b1[elements] = full
+        if elastic_integral is not None:
+            full = elastic_integral
+        else:
+            full = backend.time_integrate(
+                elastic_derivatives, 0.0, dt, ws=ws, key="b_full"
+            )
         if needs_half:
-            self.b2[elements] = time_integrate(elastic_derivatives, 0.0, 0.5 * dt)
+            self.b2[elements] = backend.time_integrate(
+                elastic_derivatives, 0.0, 0.5 * dt, ws=ws, key="b_half"
+            )
+        self.b1[elements] = full
         if step_index % 2 == 0:
             self.b3[elements] = full
         else:

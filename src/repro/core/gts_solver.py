@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization
 from ..kernels.update import gts_step
 from ..source.moment_tensor import DiscretePointSource, MomentTensorSource, PointForceSource
@@ -19,7 +20,12 @@ __all__ = ["GlobalTimeSteppingSolver"]
 
 
 class GlobalTimeSteppingSolver:
-    """ADER-DG solver advancing every element at the global minimum time step."""
+    """ADER-DG solver advancing every element at the global minimum time step.
+
+    ``kernels`` selects the kernel-execution backend (``"ref"``/``"opt"`` or
+    a backend instance); the optimized backend reuses one solver-wide scratch
+    workspace across steps.
+    """
 
     def __init__(
         self,
@@ -28,6 +34,7 @@ class GlobalTimeSteppingSolver:
         sources: list | None = None,
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
+        kernels=None,
     ):
         self.disc = disc
         self.dt = float(dt) if dt is not None else float(disc.time_steps.min())
@@ -36,6 +43,8 @@ class GlobalTimeSteppingSolver:
         self.n_fused = n_fused
         self.receivers = receivers
         self.sources = [self._bind_source(s) for s in (sources or [])]
+        self.backend = make_backend(kernels)
+        self.workspace = self.backend.make_workspace()
         self.dofs = disc.allocate_dofs(n_fused=n_fused)
         self.time = 0.0
         self.n_element_updates = 0
@@ -54,7 +63,9 @@ class GlobalTimeSteppingSolver:
 
     def step(self) -> None:
         """Advance all elements by one global time step."""
-        self.dofs = gts_step(self.disc, self.dofs, self.dt)
+        self.dofs = gts_step(
+            self.disc, self.dofs, self.dt, backend=self.backend, ws=self.workspace
+        )
         for source in self.sources:
             source.inject(self.dofs, self.time, self.time + self.dt)
         self.time += self.dt

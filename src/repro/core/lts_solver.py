@@ -20,15 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..kernels.ader import compute_time_derivatives, time_integrate
+from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization, N_ELASTIC
-from ..kernels.surface import (
-    neighbor_face_coefficients,
-    project_local_traces,
-    surface_kernel_local,
-    surface_kernel_neighbor,
-)
-from ..kernels.volume import volume_kernel
 from ..source.moment_tensor import DiscretePointSource, MomentTensorSource, PointForceSource
 from ..source.receivers import ReceiverSet
 from .buffers import BOUNDARY, LARGER, SAME, SMALLER, LtsBuffers
@@ -65,9 +58,15 @@ class _ClusterData:
         #: source elements of this cluster (filled by the solver once the
         #: sources are bound; avoids a set intersection per correction step)
         self.source_elements = np.zeros(0, dtype=np.int64)
+        #: per-cluster kernel scratch workspace (attached by the solver;
+        #: ``None`` for the reference backend, which allocates per call)
+        self.workspace = None
         # prediction storage
         self.pending_local_delta: np.ndarray | None = None
         self.pending_te: np.ndarray | None = None
+        #: the prediction's projected local traces, reused by the correction
+        #: (recomputing them from ``pending_te`` yields identical values)
+        self.pending_traces: np.ndarray | None = None
         self.step_index = 0
 
 
@@ -81,6 +80,7 @@ class ClusteredLtsSolver:
         sources: list | None = None,
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
+        kernels=None,
     ):
         if len(clustering.cluster_ids) != disc.n_elements:
             raise ValueError("clustering does not match the discretization")
@@ -95,11 +95,14 @@ class ClusteredLtsSolver:
         for source in self.sources:
             self._sources_by_element.setdefault(source.element, []).append(source)
 
+        self.backend = make_backend(kernels)
         self.dofs = disc.allocate_dofs(n_fused=n_fused)
         self.buffers = LtsBuffers(disc, n_fused=n_fused)
         self.clusters = [
             _ClusterData(disc, clustering, l) for l in range(clustering.n_clusters)
         ]
+        for cluster in self.clusters:
+            cluster.workspace = self.backend.make_workspace()
         source_ids = np.array(sorted(self._sources_by_element), dtype=np.int64)
         for cluster in self.clusters:
             cluster.source_elements = np.intersect1d(cluster.elements, source_ids)
@@ -128,9 +131,12 @@ class ClusteredLtsSolver:
         if len(cluster.elements) == 0:
             cluster.pending_local_delta = None
             return
-        delta, time_integrated_elastic = self._predict_elements(cluster, cluster.elements)
+        delta, time_integrated_elastic, local_traces = self._predict_elements(
+            cluster, cluster.elements
+        )
         cluster.pending_local_delta = delta
         cluster.pending_te = time_integrated_elastic
+        cluster.pending_traces = local_traces
 
     def _predict_elements(
         self, cluster: _ClusterData, elements: np.ndarray
@@ -141,26 +147,25 @@ class ClusteredLtsSolver:
         Shared between the full-cluster ``_predict`` and the distributed
         rank stepper's boundary/interior split -- every contraction is
         element-local, so any partition of the batch produces bit-identical
-        per-element results.  Returns ``(local_delta, elastic_time_integral)``.
+        per-element results.  Returns
+        ``(local_delta, elastic_time_integral, local_traces)``.
         """
-        disc = self.disc
-        derivatives = compute_time_derivatives(disc, self.dofs, elements)
+        backend = self.backend
+        ws = cluster.workspace
+        delta, time_integrated, derivatives, local_traces = backend.local_update(
+            self.disc, self.dofs, cluster.dt, elements, ws=ws
+        )
         self.buffers.fill(
             elements,
             derivatives,
             cluster.dt,
             cluster.step_index,
             needs_half=True,
+            backend=backend,
+            ws=ws,
+            elastic_integral=time_integrated[:, :N_ELASTIC],
         )
-        time_integrated = time_integrate(derivatives, 0.0, cluster.dt)
-        local_traces = project_local_traces(
-            disc, time_integrated[:, :N_ELASTIC], elements
-        )
-        delta = volume_kernel(disc, time_integrated, elements)
-        delta += surface_kernel_local(
-            disc, time_integrated, elements, local_traces=local_traces
-        )
-        return delta, time_integrated[:, :N_ELASTIC]
+        return delta, time_integrated[:, :N_ELASTIC], local_traces
 
     def _neighbor_coefficients(self, cluster: _ClusterData) -> np.ndarray:
         """Face-basis coefficients of the neighbours' traces for a correction.
@@ -170,11 +175,18 @@ class ClusteredLtsSolver:
         compressed payloads received through the communicator.
         """
         disc = self.disc
+        backend = self.backend
         neighbor_te = self.buffers.neighbor_data(
             cluster.elements, cluster.neighbors, cluster.relations, cluster.step_index
         )
-        own_traces = project_local_traces(disc, cluster.pending_te, cluster.elements)
-        return neighbor_face_coefficients(disc, neighbor_te, own_traces, cluster.elements)
+        own_traces = cluster.pending_traces
+        if own_traces is None:
+            own_traces = backend.project_local_traces(
+                disc, cluster.pending_te, cluster.elements, ws=cluster.workspace
+            )
+        return backend.neighbor_face_coefficients(
+            disc, neighbor_te, own_traces, cluster.elements, ws=cluster.workspace
+        )
 
     def _correct(self, cluster: _ClusterData, cluster_start_time: float) -> None:
         """Neighbouring update and DOF advance of one cluster."""
@@ -183,12 +195,14 @@ class ClusteredLtsSolver:
             return
         disc = self.disc
         coeffs = self._neighbor_coefficients(cluster)
-        delta = cluster.pending_local_delta + surface_kernel_neighbor(
-            disc, coeffs, cluster.elements
+        delta = cluster.pending_local_delta
+        delta += self.backend.surface_kernel_neighbor(
+            disc, coeffs, cluster.elements, ws=cluster.workspace
         )
         self.dofs[cluster.elements] += delta
         cluster.pending_local_delta = None
         cluster.pending_te = None
+        cluster.pending_traces = None
 
         t_new = cluster_start_time + cluster.dt
         for element in cluster.source_elements:

@@ -54,14 +54,14 @@ def remap_local_sources(
 
 
 def modelled_exchange_per_cycle(
-    halo: HaloIndex, clustering: Clustering, order: int, n_fused: int
+    halo: HaloIndex, clustering: Clustering, order: int, n_fused: int, itemsize: int = 8
 ) -> dict:
     """The Fig-10 machine model's view of a halo, for validating measured
     traffic (shared by both engine backends).
 
-    Payloads travel as float64 (times the fused width), so the model is
-    evaluated at that value size; a distributed run's measured traffic must
-    match these numbers exactly.
+    Payloads travel in the run precision (``itemsize`` bytes per value,
+    times the fused width), so the model is evaluated at that value size;
+    a distributed run's measured traffic must match these numbers exactly.
     """
     return exchange_volumes_per_cycle(
         halo,
@@ -69,7 +69,7 @@ def modelled_exchange_per_cycle(
         clustering.n_clusters,
         order=order,
         face_local=True,
-        bytes_per_value=8 * max(1, n_fused),
+        bytes_per_value=itemsize * max(1, n_fused),
     )
 
 
@@ -84,6 +84,7 @@ class DistributedLtsEngine:
         sources: list | None = None,
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
+        kernels=None,
     ):
         partitions = np.asarray(partitions, dtype=np.int64)
         if len(partitions) != disc.n_elements:
@@ -111,6 +112,7 @@ class DistributedLtsEngine:
                 sources=self._local_sources(sub),
                 receivers=None,
                 n_fused=n_fused,
+                kernels=kernels,
             )
             for sub in self.subdomains
         ]
@@ -287,5 +289,9 @@ class DistributedLtsEngine:
     def modelled_exchange_per_cycle(self) -> dict:
         """The Fig-10 machine model's view of the same halo, for validation."""
         return modelled_exchange_per_cycle(
-            self.halo, self.clustering, self.disc.order, self.n_fused
+            self.halo,
+            self.clustering,
+            self.disc.order,
+            self.n_fused,
+            itemsize=np.dtype(self.disc.dtype).itemsize,
         )

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..core.clustering import Clustering
 from ..core.lts_scheduler import schedule_cycle
+from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization
 from ..parallel.communicator import MessageStats
 from ..parallel.exchange import HaloIndex
@@ -70,6 +71,7 @@ def _rank_worker(
     sources: list,
     shims: list[Receiver],
     n_fused: int,
+    kernels: str,
     cluster_time_steps: np.ndarray,
     inbound,
     outbound: dict,
@@ -83,7 +85,12 @@ def _rank_worker(
         )
         receivers = _shim_receiver_set(shims)
         solver = RankSolver(
-            subdomain, comm, sources=sources, receivers=receivers, n_fused=n_fused
+            subdomain,
+            comm,
+            sources=sources,
+            receivers=receivers,
+            n_fused=n_fused,
+            kernels=kernels,
         )
         n_clusters = len(cluster_time_steps)
         dt0 = float(cluster_time_steps[0])
@@ -202,6 +209,7 @@ class ProcessLtsEngine:
         sources: list | None = None,
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
+        kernels=None,
         comm_timeout: float | None = None,
     ):
         partitions = np.asarray(partitions, dtype=np.int64)
@@ -214,6 +222,9 @@ class ProcessLtsEngine:
         if self.n_ranks < 2:
             raise ValueError("the process backend needs at least two ranks")
         self.n_fused = n_fused
+        # workers rebuild their backend from the kind name (backends hold
+        # per-process caches, so the instance itself is never shipped)
+        self.kernels = make_backend(kernels).name
         self.receiver_set = receivers
         # a blocked halo receive aborts after this many seconds (a healthy
         # peer on a big mesh can legitimately compute for a while, so the
@@ -299,6 +310,7 @@ class ProcessLtsEngine:
                     self._rank_sources[r],
                     self._rank_shims[r],
                     self.n_fused,
+                    self.kernels,
                     np.asarray(self.clustering.cluster_time_steps),
                     inbound[r],
                     outbound,
@@ -600,5 +612,9 @@ class ProcessLtsEngine:
     def modelled_exchange_per_cycle(self) -> dict:
         """The Fig-10 machine model's view of the same halo, for validation."""
         return modelled_exchange_per_cycle(
-            self.halo, self.clustering, self.disc.order, self.n_fused
+            self.halo,
+            self.clustering,
+            self.disc.order,
+            self.n_fused,
+            itemsize=np.dtype(self.disc.dtype).itemsize,
         )

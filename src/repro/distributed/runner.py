@@ -51,6 +51,7 @@ class DistributedRunner(ScenarioRunner):
             sources=sources,
             receivers=self.receivers,
             n_fused=spec.solver.n_fused,
+            kernels=spec.solver.kernels,
         )
         return self.engine
 

@@ -49,6 +49,7 @@ class RankSolver(ClusteredLtsSolver):
         receivers=None,
         n_fused: int = 0,
         clustering: Clustering | None = None,
+        kernels=None,
     ):
         self.subdomain = subdomain
         self.comm = communicator
@@ -59,7 +60,18 @@ class RankSolver(ClusteredLtsSolver):
             sources=sources,
             receivers=receivers,
             n_fused=n_fused,
+            kernels=kernels,
         )
+        #: per-cluster (boundary, interior) element-id arrays, materialised
+        #: once: a stable array identity per batch keeps the workspace's
+        #: operator-gather/token caches warm (and bounded) across micro steps
+        self._split_elements = [
+            (
+                cluster.elements[subdomain.boundary_rows[cluster.cluster_id]],
+                cluster.elements[subdomain.interior_rows[cluster.cluster_id]],
+            )
+            for cluster in self.clusters
+        ]
 
     # ------------------------------------------------------------------
     # split prediction (overlap structure)
@@ -74,18 +86,33 @@ class RankSolver(ClusteredLtsSolver):
         if len(cluster.elements) == 0:
             cluster.pending_local_delta = None
             cluster.pending_te = None
+            cluster.pending_traces = None
             return
         cluster.pending_local_delta = np.empty_like(self.dofs[cluster.elements])
         cluster.pending_te = np.empty_like(
             self.buffers.b1[cluster.elements]
         )
-        self._predict_rows(cluster, self.subdomain.boundary_rows[cluster.cluster_id])
+        disc = self.disc
+        cluster.pending_traces = np.empty(
+            (len(cluster.elements), 4, cluster.pending_te.shape[1], disc.n_face_basis)
+            + cluster.pending_te.shape[3:],
+            dtype=cluster.pending_te.dtype,
+        )
+        self._predict_rows(
+            cluster,
+            self.subdomain.boundary_rows[cluster.cluster_id],
+            self._split_elements[cluster.cluster_id][0],
+        )
 
     def predict_interior(self, cluster: _ClusterData) -> None:
         """Predict the purely local rows (overlaps in-flight halo messages)."""
         if len(cluster.elements) == 0:
             return
-        self._predict_rows(cluster, self.subdomain.interior_rows[cluster.cluster_id])
+        self._predict_rows(
+            cluster,
+            self.subdomain.interior_rows[cluster.cluster_id],
+            self._split_elements[cluster.cluster_id][1],
+        )
 
     # ------------------------------------------------------------------
     # the shared micro-step walk (used by the serial engine, which
@@ -113,15 +140,21 @@ class RankSolver(ClusteredLtsSolver):
             start = self.time + (entry["micro_step"] + 1) * dt0 - cluster.dt
             self._correct(cluster, start)
 
-    def _predict_rows(self, cluster: _ClusterData, rows: np.ndarray) -> None:
-        """The shared prediction body of ``_predict``, on a batch subset."""
+    def _predict_rows(
+        self, cluster: _ClusterData, rows: np.ndarray, elements: np.ndarray
+    ) -> None:
+        """The shared prediction body of ``_predict``, on a batch subset.
+
+        ``elements`` is the precomputed ``cluster.elements[rows]`` array.
+        """
         if len(rows) == 0:
             return
-        delta, time_integrated_elastic = self._predict_elements(
-            cluster, cluster.elements[rows]
+        delta, time_integrated_elastic, local_traces = self._predict_elements(
+            cluster, elements
         )
         cluster.pending_local_delta[rows] = delta
         cluster.pending_te[rows] = time_integrated_elastic
+        cluster.pending_traces[rows] = local_traces
 
     # ------------------------------------------------------------------
     def send_due(self, micro_step: int) -> None:

@@ -68,6 +68,13 @@ class SubdomainDisc:
         self.n_mechanisms = disc.n_mechanisms
         self.omegas = disc.omegas
         self.ref = disc.ref
+        self.precision = disc.precision
+        self.dtype = disc.dtype
+        # precision-cast operator views shared with the global discretization
+        self.k_time = disc.k_time
+        self.k_vol = disc.k_vol
+        self.ftilde = disc.ftilde
+        self.fhat = disc.fhat
         self.n_basis = disc.n_basis
         self.n_face_basis = disc.n_face_basis
         self.n_vars = disc.n_vars
@@ -89,11 +96,11 @@ class SubdomainDisc:
     def n_elements(self) -> int:
         return self.mesh.n_elements
 
-    def allocate_dofs(self, n_fused: int = 0, dtype=np.float64) -> np.ndarray:
+    def allocate_dofs(self, n_fused: int = 0, dtype=None) -> np.ndarray:
         shape: tuple[int, ...] = (self.n_elements, self.n_vars, self.n_basis)
         if n_fused > 0:
             shape = shape + (n_fused,)
-        return np.zeros(shape, dtype=dtype)
+        return np.zeros(shape, dtype=self.dtype if dtype is None else dtype)
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,14 @@ from .ader import (
     time_integrate,
     time_integrated_dofs,
 )
-from .discretization import Discretization, N_ELASTIC
+from .backend import (
+    KERNEL_KINDS,
+    KernelWorkspace,
+    OptimizedBackend,
+    ReferenceBackend,
+    make_backend,
+)
+from .discretization import Discretization, N_ELASTIC, PRECISIONS
 from .flops import FlopCount, count_flops_per_element_update, sparsity_report
 from .surface import (
     neighbor_face_coefficients,
@@ -20,6 +27,12 @@ from .volume import volume_kernel
 __all__ = [
     "Discretization",
     "N_ELASTIC",
+    "PRECISIONS",
+    "KERNEL_KINDS",
+    "KernelWorkspace",
+    "ReferenceBackend",
+    "OptimizedBackend",
+    "make_backend",
     "compute_time_derivatives",
     "time_integrate",
     "time_integrated_dofs",

@@ -55,7 +55,7 @@ def compute_time_derivatives(
     coupling = disc.coupling[elements]  # (E, m, 9, 6)
     omegas = disc.omegas
     n_mech = disc.n_mechanisms
-    k_time = disc.ref.k_time  # (3, B, B)
+    k_time = disc.k_time  # (3, B, B), cast to the run precision
 
     derivatives = [batch]
     current = batch

@@ -44,9 +44,15 @@ from ..mesh.tet_mesh import (
     TetMesh,
 )
 
-__all__ = ["Discretization", "N_ELASTIC"]
+__all__ = ["Discretization", "N_ELASTIC", "PRECISIONS"]
 
 N_ELASTIC = 9
+
+#: supported state/operator precisions: float64 (the verification default)
+#: and float32 (EDGE's production single-precision mode)
+PRECISIONS = ("f64", "f32")
+
+_PRECISION_DTYPES = {"f64": np.float64, "f32": np.float32}
 
 
 class Discretization:
@@ -70,6 +76,13 @@ class Discretization:
         ``"rusanov"`` or ``"godunov"`` (see :mod:`repro.equations.riemann`).
     cfl:
         CFL safety factor of the per-element time-step estimate.
+    precision:
+        ``"f64"`` or ``"f32"``.  Selects the dtype of every operator the
+        kernels contract with (star/coupling/flux matrices, the reference
+        operators and the relaxation frequencies) and the default dtype of
+        DOF/buffer allocations, so a single-precision run stays single
+        precision end to end.  Setup (geometry, quadrature, operator
+        assembly, clustering) always computes in float64 and casts once.
     """
 
     def __init__(
@@ -81,6 +94,7 @@ class Discretization:
         frequency_band: tuple[float, float] = (0.1, 10.0),
         flux: str = "rusanov",
         cfl: float = 0.5,
+        precision: str = "f64",
     ):
         if materials.n_elements != mesh.n_elements:
             raise ValueError("material table size does not match the mesh")
@@ -88,6 +102,8 @@ class Discretization:
             raise ValueError(f"flux must be one of {FLUX_KINDS}, got {flux!r}")
         if n_mechanisms < 0:
             raise ValueError("n_mechanisms must be non-negative")
+        if precision not in PRECISIONS:
+            raise ValueError(f"precision must be one of {PRECISIONS}, got {precision!r}")
 
         self.mesh = mesh
         self.materials = materials
@@ -95,6 +111,8 @@ class Discretization:
         self.n_mechanisms = n_mechanisms
         self.flux = flux
         self.cfl = cfl
+        self.precision = precision
+        self.dtype = _PRECISION_DTYPES[precision]
 
         self.ref: ReferenceElement = reference_element(order)
         self.n_basis = self.ref.n_basis
@@ -128,6 +146,32 @@ class Discretization:
         # -- flux solvers and neighbour flux matrices -------------------------
         self._assemble_flux_solvers()
         self._assemble_neighbor_flux_matrices()
+        self._cast_operators()
+
+    def _cast_operators(self) -> None:
+        """Cast every kernel operand to the run precision (no-op at f64).
+
+        The reference-element operators the kernels contract with are
+        re-exposed as ``k_time``/``k_vol``/``ftilde``/``fhat`` attributes so
+        the cast never mutates the (cached, shared) :class:`ReferenceElement`.
+        """
+        dtype = self.dtype
+        for name in (
+            "star_elastic",
+            "star_anelastic",
+            "coupling",
+            "omegas",
+            "flux_local_elastic",
+            "flux_neigh_elastic",
+            "flux_local_anelastic",
+            "flux_neigh_anelastic",
+            "neighbor_flux_matrices",
+        ):
+            setattr(self, name, getattr(self, name).astype(dtype, copy=False))
+        self.k_time = self.ref.k_time.astype(dtype, copy=False)
+        self.k_vol = self.ref.k_vol.astype(dtype, copy=False)
+        self.ftilde = self.ref.ftilde.astype(dtype, copy=False)
+        self.fhat = self.ref.fhat.astype(dtype, copy=False)
 
     # ------------------------------------------------------------------
     # flux solvers
@@ -263,12 +307,15 @@ class Discretization:
     def n_unique_neighbor_matrices(self) -> int:
         return self.neighbor_flux_matrices.shape[0]
 
-    def allocate_dofs(self, n_fused: int = 0, dtype=np.float64) -> np.ndarray:
-        """Allocate a zero DOF array ``(K, N_q, B)`` (plus a fused axis if requested)."""
+    def allocate_dofs(self, n_fused: int = 0, dtype=None) -> np.ndarray:
+        """Allocate a zero DOF array ``(K, N_q, B)`` (plus a fused axis if requested).
+
+        ``dtype`` defaults to the discretization's run precision.
+        """
         shape: tuple[int, ...] = (self.n_elements, self.n_vars, self.n_basis)
         if n_fused > 0:
             shape = shape + (n_fused,)
-        return np.zeros(shape, dtype=dtype)
+        return np.zeros(shape, dtype=self.dtype if dtype is None else dtype)
 
     def elastic_view(self, dofs: np.ndarray) -> np.ndarray:
         """View of the elastic variables of a DOF array."""
@@ -306,6 +353,9 @@ class Discretization:
                 )
         coeffs = np.einsum("q,kqv,qb->kvb", quad.weights, values, psi)
         coeffs = np.einsum("kvb,bc->kvc", coeffs, self.ref.inv_mass)
+        # the projection itself is evaluated in float64 for accuracy; the
+        # result is cast once so an f32 run's state is not silently upcast
+        coeffs = coeffs.astype(self.dtype, copy=False)
         if n_fused > 0:
             coeffs = np.repeat(coeffs[..., None], n_fused, axis=-1)
         return coeffs
@@ -318,4 +368,6 @@ class Discretization:
         Returns ``(len(element_ids), n_points, n_vars[, n_fused])``.
         """
         psi = self.ref.basis.evaluate(reference_points)  # (n_points, B)
+        # sample in the state's own precision (an f32 run must not upcast)
+        psi = psi.astype(dofs.dtype, copy=False)
         return np.einsum("kvb...,pb->kpv...", dofs[element_ids], psi)

@@ -41,7 +41,7 @@ def project_local_traces(
     eqs. (10)/(12).
     """
     del elements  # the projection uses reference-element data only
-    ftilde = disc.ref.ftilde  # (4, B, F)
+    ftilde = disc.ftilde  # (4, B, F), cast to the run precision
     return np.einsum("evb...,ibf->eivf...", time_integrated_elastic, ftilde)
 
 
@@ -63,7 +63,7 @@ def surface_kernel_local(
     """
     if local_traces is None:
         local_traces = project_local_traces(disc, time_integrated[:, :N_ELASTIC], elements)
-    fhat = disc.ref.fhat  # (4, F, B)
+    fhat = disc.fhat  # (4, F, B)
     flux_e = disc.flux_local_elastic[elements]  # (E, 4, 9, 9)
     flux_a = disc.flux_local_anelastic[elements]  # (E, 4, 6, 9)
     omegas = disc.omegas
@@ -135,7 +135,7 @@ def surface_kernel_neighbor(
     :func:`neighbor_face_coefficients` (or, in the distributed-memory case,
     the face-local data received through the communication layer).
     """
-    fhat = disc.ref.fhat
+    fhat = disc.fhat
     flux_e = disc.flux_neigh_elastic[elements]
     flux_a = disc.flux_neigh_anelastic[elements]
     omegas = disc.omegas

@@ -12,17 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from .ader import compute_time_derivatives, time_integrate
+from .backend import ReferenceBackend
 from .discretization import Discretization, N_ELASTIC
-from .surface import (
-    neighbor_face_coefficients,
-    project_local_traces,
-    surface_kernel_local,
-    surface_kernel_neighbor,
-)
-from .volume import volume_kernel
 
 __all__ = ["local_update", "neighbor_update", "gts_step"]
+
+#: default execution strategy of the module-level functions: the reference
+#: kernels, exactly as before the backend layer existed
+_REFERENCE = ReferenceBackend()
 
 
 def local_update(
@@ -30,18 +27,21 @@ def local_update(
     dofs: np.ndarray,
     dt: float,
     elements: np.ndarray | slice = slice(None),
+    backend=None,
+    ws=None,
 ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
     """Local part of an element update over ``[t, t + dt]``.
 
     Returns ``(delta, time_integrated, derivatives)``: the local update
     increment (volume + local surface), the time-integrated DOFs used for it,
-    and the CK time derivatives (needed by the LTS buffers).
+    and the CK time derivatives (needed by the LTS buffers).  ``backend``
+    selects the kernel-execution strategy (reference kernels by default);
+    with a workspace-backed backend the returned arrays are scratch views
+    valid until the backend's next call on the same workspace.
     """
-    derivatives = compute_time_derivatives(disc, dofs, elements)
-    time_integrated = time_integrate(derivatives, 0.0, dt)
-    local_traces = project_local_traces(disc, time_integrated[:, :N_ELASTIC], elements)
-    delta = volume_kernel(disc, time_integrated, elements)
-    delta += surface_kernel_local(disc, time_integrated, elements, local_traces=local_traces)
+    delta, time_integrated, derivatives, _ = (backend or _REFERENCE).local_update(
+        disc, dofs, dt, elements, ws=ws
+    )
     return delta, time_integrated, derivatives
 
 
@@ -50,28 +50,46 @@ def neighbor_update(
     neighbor_time_integrated_elastic: np.ndarray,
     own_time_integrated: np.ndarray,
     elements: np.ndarray,
+    backend=None,
+    ws=None,
+    own_traces: np.ndarray | None = None,
 ) -> np.ndarray:
     """Neighbouring part of an element update.
 
     ``neighbor_time_integrated_elastic`` has shape ``(E, 4, 9, B[, n_fused])``
     and contains, per face, the neighbour's elastic time-integrated DOFs over
-    the element's time interval.
+    the element's time interval.  ``own_traces`` optionally reuses the local
+    step's projected traces (recomputing them yields identical values).
     """
-    own_traces = project_local_traces(disc, own_time_integrated[:, :N_ELASTIC], elements)
-    coeffs = neighbor_face_coefficients(
-        disc, neighbor_time_integrated_elastic, own_traces, elements
+    backend = backend or _REFERENCE
+    if own_traces is None:
+        own_traces = backend.project_local_traces(
+            disc, own_time_integrated[:, :N_ELASTIC], elements, ws=ws
+        )
+    coeffs = backend.neighbor_face_coefficients(
+        disc, neighbor_time_integrated_elastic, own_traces, elements, ws=ws
     )
-    return surface_kernel_neighbor(disc, coeffs, elements)
+    return backend.surface_kernel_neighbor(disc, coeffs, elements, ws=ws)
 
 
-def gts_step(disc: Discretization, dofs: np.ndarray, dt: float) -> np.ndarray:
+def gts_step(
+    disc: Discretization, dofs: np.ndarray, dt: float, backend=None, ws=None
+) -> np.ndarray:
     """One global time step over all elements (the classic ADER-DG update).
 
     This is the reference implementation used by the GTS solver and by the
     LTS correctness tests; it returns the new DOF array.
     """
-    all_elements = np.arange(disc.n_elements)
-    delta, time_integrated, _ = local_update(disc, dofs, dt, all_elements)
+    backend = backend or _REFERENCE
+    if ws is not None:
+        # a stable array identity keeps the workspace's operator-gather and
+        # batch-token caches warm across steps
+        all_elements = ws.cached("gts_elements", disc.n_elements, lambda: np.arange(disc.n_elements))
+    else:
+        all_elements = np.arange(disc.n_elements)
+    delta, time_integrated, _, local_traces = backend.local_update(
+        disc, dofs, dt, all_elements, ws=ws
+    )
 
     # gather the neighbours' time-integrated elastic DOFs per face
     te = time_integrated[:, :N_ELASTIC]
@@ -79,5 +97,10 @@ def gts_step(disc: Discretization, dofs: np.ndarray, dt: float) -> np.ndarray:
     safe_neighbors = np.where(neighbors >= 0, neighbors, 0)
     neighbor_te = te[safe_neighbors]  # (K, 4, 9, B[, n_fused])
 
-    delta += neighbor_update(disc, neighbor_te, time_integrated, all_elements)
+    # the local step's traces are reused for the ghost faces of the
+    # neighbouring update (recomputing them yields identical values)
+    delta += neighbor_update(
+        disc, neighbor_te, time_integrated, all_elements, backend, ws,
+        own_traces=local_traces,
+    )
     return dofs + delta

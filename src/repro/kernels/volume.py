@@ -40,7 +40,7 @@ def volume_kernel(
     star_a = disc.star_anelastic[elements]
     coupling = disc.coupling[elements]
     omegas = disc.omegas
-    k_vol = disc.ref.k_vol
+    k_vol = disc.k_vol
 
     te = time_integrated[:, :N_ELASTIC]
     out = np.zeros_like(time_integrated)

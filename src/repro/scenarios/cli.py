@@ -87,6 +87,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="distributed execution backend: 'serial' steps the ranks "
                           "in-process, 'process' runs one worker process per rank "
                           "with overlapped halo exchange (default serial)")
+    run.add_argument("--kernels", choices=("ref", "opt"),
+                     help="kernel-execution backend: 'ref' runs the plain reference "
+                          "kernels, 'opt' runs the batched/planned kernels with "
+                          "reusable scratch workspaces (bit-identical at f64)")
+    run.add_argument("--precision", choices=("f64", "f32"),
+                     help="state/operator precision of the run (default f64)")
     run.add_argument("--partitions", type=int, help="partition count (enables reordering)")
     run.add_argument("--reorder", action="store_true",
                      help="reorder elements by (partition, cluster, role)")
@@ -104,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--backend", choices=("serial", "process"),
                         help="override the checkpointed execution backend "
                              "(backends are bit-identical)")
+    resume.add_argument("--kernels", choices=("ref", "opt"),
+                        help="override the checkpointed kernel-execution backend "
+                             "(bit-identical at f64 and therefore rejected for "
+                             "f32 checkpoints; the checkpointed precision itself "
+                             "cannot change)")
     resume.add_argument("--checkpoint-every", type=int, metavar="N",
                         help="new checkpoint cadence in macro cycles "
                              "(0 disables; default: the checkpointed spec's cadence)")
@@ -152,6 +163,8 @@ def _resolve_spec(args) -> ScenarioSpec:
         n_fused=args.fused,
         n_ranks=args.ranks,
         backend=args.backend,
+        kernels=args.kernels,
+        precision=args.precision,
         n_cycles=args.cycles,
         t_end=args.t_end,
         # explicit None test: --checkpoint-every 0 means "disable cadence
@@ -195,11 +208,14 @@ def _cmd_run(args) -> int:
     if not args.quiet:
         clustering = runner.clustering
         ranks = f", {spec.solver.n_ranks} ranks" if spec.solver.n_ranks > 1 else ""
+        extras = "" if spec.solver.kernels == "ref" else f", kernels {spec.solver.kernels}"
+        if spec.solver.precision != "f64":
+            extras += f", {spec.solver.precision}"
         print(
             f"[{spec.name}] {runner.setup.mesh.n_elements} elements, "
             f"order {spec.order}, {clustering.n_clusters} clusters "
             f"(lambda {clustering.lam:.2f}, theoretical speedup "
-            f"{clustering.speedup():.2f}x), solver {spec.solver.kind}{ranks}",
+            f"{clustering.speedup():.2f}x), solver {spec.solver.kind}{ranks}{extras}",
             file=sys.stderr,
         )
     summary = runner.run(
@@ -211,7 +227,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_resume(args) -> int:
     try:
-        runner = ScenarioRunner.resume(args.checkpoint, backend=args.backend)
+        runner = ScenarioRunner.resume(
+            args.checkpoint, backend=args.backend, kernels=args.kernels
+        )
     except (KeyError, ValueError, TypeError, OSError) as error:
         return _input_error(error)
     if not args.quiet:

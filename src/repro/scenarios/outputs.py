@@ -12,7 +12,7 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["write_seismograms", "write_run_summary", "write_outputs"]
+__all__ = ["seismogram_header", "write_seismograms", "write_run_summary", "write_outputs"]
 
 
 def _jsonable(value):
@@ -27,6 +27,23 @@ def _jsonable(value):
     return value
 
 
+def seismogram_header(n_columns: int) -> str:
+    """The CSV header for a seismogram with ``n_columns`` value columns.
+
+    Scalar runs (and fused runs of width 1, whose flattened table is
+    indistinguishable from a scalar run's) use the plain ``vx,vy,vz``
+    columns; wider fused runs get one column per (component, simulation) in
+    the flattened ``(component, simulation)`` order of the sample arrays.
+    An empty recording still names the three scalar columns.
+    """
+    if n_columns % 3 != 0:
+        raise ValueError(f"seismogram tables have 3 x n_fused columns, got {n_columns}")
+    if n_columns in (0, 3):
+        return "time,vx,vy,vz"
+    n_fused = n_columns // 3
+    return "time," + ",".join(f"v{axis}_{f}" for axis in "xyz" for f in range(n_fused))
+
+
 def write_seismograms(receivers, directory) -> list[Path]:
     """Write one ``seismogram_<name>.csv`` per receiver; returns the paths."""
     directory = Path(directory)
@@ -35,19 +52,15 @@ def write_seismograms(receivers, directory) -> list[Path]:
     for receiver in receivers.receivers:
         times, values = receiver.seismogram()
         values = np.asarray(values, dtype=np.float64)
-        # reshape(0, -1) is ambiguous for empty recordings; emit an empty CSV
-        flat = (
-            values.reshape(len(times), -1)
-            if len(times)
-            else values.reshape(0, values.shape[-1] if values.ndim > 1 else 3)
-        )
-        if flat.shape[1] in (0, 3):
-            header = "time,vx,vy,vz"
-        else:  # fused runs: one column per (component, simulation)
-            n_fused = flat.shape[1] // 3
-            header = "time," + ",".join(
-                f"v{axis}_{f}" for axis in "xyz" for f in range(n_fused)
-            )
+        # reshape(0, -1) is ambiguous for empty recordings; emit an empty CSV.
+        # Receiver.seismogram() returns (0, 3) for empty recordings regardless
+        # of the fused width, so an unrecorded station gets the scalar header;
+        # the prod() keeps receiver-likes that do report (0, 3, n) consistent
+        if len(times):
+            flat = values.reshape(len(times), -1)
+        else:
+            flat = values.reshape(0, int(np.prod(values.shape[1:])) if values.ndim > 1 else 3)
+        header = seismogram_header(flat.shape[1])
         path = directory / f"seismogram_{receiver.name}.csv"
         table = np.column_stack([np.asarray(times, dtype=np.float64), flat])
         np.savetxt(path, table, delimiter=",", header=header, comments="")

@@ -212,6 +212,7 @@ def _build_discretization(spec: ScenarioSpec, mesh: TetMesh, materials: Material
         frequency_band=band,
         flux=spec.solver.flux,
         cfl=spec.solver.cfl,
+        precision=spec.solver.precision,
     )
 
 
@@ -296,6 +297,7 @@ class ScenarioRunner:
                 sources=sources,
                 receivers=self.receivers,
                 n_fused=spec.solver.n_fused,
+                kernels=spec.solver.kernels,
             )
         # "lts" and "legacy-lts" share the clustered driver
         return ClusteredLtsSolver(
@@ -304,6 +306,7 @@ class ScenarioRunner:
             sources=sources,
             receivers=self.receivers,
             n_fused=spec.solver.n_fused,
+            kernels=spec.solver.kernels,
         )
 
     # -- preprocessing --------------------------------------------------
@@ -409,6 +412,8 @@ class ScenarioRunner:
         out = {
             "scenario": spec.name,
             "solver": spec.solver.kind,
+            "kernels": spec.solver.kernels,
+            "precision": spec.solver.precision,
             "order": spec.order,
             "n_fused": spec.solver.n_fused,
             "n_elements": int(self.setup.mesh.n_elements),
@@ -496,16 +501,23 @@ class ScenarioRunner:
         }
 
     @classmethod
-    def resume(cls, path, *, backend: str | None = None) -> "ScenarioRunner":
+    def resume(
+        cls, path, *, backend: str | None = None, kernels: str | None = None
+    ) -> "ScenarioRunner":
         """Rebuild a runner from a checkpoint; continuation is bit-identical
         to the uninterrupted run.
 
         The runner class follows the checkpointed spec: a spec with
         ``solver.n_ranks > 1`` resumes as a distributed run (and vice versa),
         regardless of which class this is called on.  ``backend`` overrides
-        the checkpointed execution backend (``"serial"``/``"process"``) --
-        backends are bit-identical, so a run checkpointed under one can
-        resume under the other.
+        the checkpointed execution backend (``"serial"``/``"process"``) and
+        ``kernels`` the kernel-execution backend (``"ref"``/``"opt"``) --
+        both are bit-identical at f64, so a run checkpointed under one can
+        resume under the other.  The checkpointed *precision* is part of the
+        serialised state and cannot be overridden; at f32 the kernel
+        backends are only tolerance-equal (the optimized backend's planned
+        contractions reassociate), so a kernels override is rejected there
+        to keep the continuation guarantee honest.
         """
         with np.load(path) as data:
             meta = json.loads(str(data["meta"]))
@@ -516,6 +528,15 @@ class ScenarioRunner:
             spec = ScenarioSpec.from_dict(meta["spec"])
             if backend is not None:
                 spec = spec.with_overrides(backend=backend)
+            if kernels is not None and kernels != spec.solver.kernels:
+                if spec.solver.precision == "f32":
+                    raise ValueError(
+                        "the kernel backend cannot change when resuming an "
+                        "f32 checkpoint: f32 kernel backends are not "
+                        "bit-identical, so the continuation would diverge "
+                        "from the uninterrupted run"
+                    )
+                spec = spec.with_overrides(kernels=kernels)
             runner_cls = runner_class_for(spec)
             restored = Clustering(
                 cluster_ids=data["cluster_ids"].copy(),

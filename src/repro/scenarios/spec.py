@@ -24,6 +24,7 @@ which is what the registry, the CLI and the checkpoint files rely on.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field, replace
 
 __all__ = [
@@ -42,6 +43,8 @@ __all__ = [
     "ScenarioSpec",
     "SOLVER_KINDS",
     "SOLVER_BACKENDS",
+    "SOLVER_KERNELS",
+    "SOLVER_PRECISIONS",
     "VELOCITY_MODEL_KINDS",
     "TIME_FUNCTION_KINDS",
     "SOURCE_KINDS",
@@ -52,6 +55,10 @@ __all__ = [
 
 SOLVER_KINDS = ("gts", "lts", "legacy-lts")
 SOLVER_BACKENDS = ("serial", "process")
+# kept in sync with repro.kernels.backend.KERNEL_KINDS and
+# repro.kernels.discretization.PRECISIONS (spec stays import-light)
+SOLVER_KERNELS = ("ref", "opt")
+SOLVER_PRECISIONS = ("f64", "f32")
 VELOCITY_MODEL_KINDS = ("loh3", "la_habra_basin", "homogeneous", "layered")
 TIME_FUNCTION_KINDS = ("ricker", "gaussian_derivative", "smoothed_step")
 SOURCE_KINDS = ("moment_tensor", "point_force")
@@ -321,6 +328,15 @@ class SolverSpec:
     execute: ``"serial"`` steps them in-process through the simulated
     communicator, ``"process"`` runs one worker process per rank with real
     overlapped halo exchange -- results are bit-identical either way.
+    ``kernels`` selects the kernel-execution backend: ``"ref"`` (the plain
+    reference kernels) or ``"opt"`` (precompiled contraction plans, batched
+    structure-exploiting einsums and reusable scratch workspaces); at f64
+    the two are bit-identical.  The default follows the ``REPRO_KERNELS``
+    environment variable (falling back to ``"ref"``) and is resolved at
+    construction time, so one CI leg can soak every spec-driven test under
+    the optimized kernels while serialised specs stay explicit.
+    ``precision`` runs the solver state and operators in ``"f64"`` or
+    ``"f32"`` end to end (halo payloads included).
     """
 
     kind: str = "lts"
@@ -329,8 +345,14 @@ class SolverSpec:
     cfl: float = 0.5
     n_ranks: int = 1
     backend: str = "serial"
+    kernels: str | None = None
+    precision: str = "f64"
 
     def __post_init__(self) -> None:
+        if self.kernels is None:
+            object.__setattr__(
+                self, "kernels", os.environ.get("REPRO_KERNELS") or "ref"
+            )
         if self.kind not in SOLVER_KINDS:
             raise ValueError(f"solver kind must be one of {SOLVER_KINDS}")
         if self.n_fused < 0:
@@ -347,6 +369,10 @@ class SolverSpec:
             raise ValueError(f"solver backend must be one of {SOLVER_BACKENDS}")
         if self.backend == "process" and self.n_ranks < 2:
             raise ValueError("the process backend requires n_ranks >= 2 (pass --ranks)")
+        if self.kernels not in SOLVER_KERNELS:
+            raise ValueError(f"solver kernels must be one of {SOLVER_KERNELS}")
+        if self.precision not in SOLVER_PRECISIONS:
+            raise ValueError(f"solver precision must be one of {SOLVER_PRECISIONS}")
 
 
 @dataclass(frozen=True)
@@ -476,6 +502,8 @@ class ScenarioSpec:
         flux: str | None = None,
         n_ranks: int | None = None,
         backend: str | None = None,
+        kernels: str | None = None,
+        precision: str | None = None,
         n_cycles: int | None = None,
         t_end: float | None = None,
         checkpoint_every: int | None | str = "keep",
@@ -505,6 +533,10 @@ class ScenarioSpec:
             solver_updates["n_ranks"] = n_ranks
         if backend is not None:
             solver_updates["backend"] = backend
+        if kernels is not None:
+            solver_updates["kernels"] = kernels
+        if precision is not None:
+            solver_updates["precision"] = precision
         if solver_updates:
             spec = replace(spec, solver=replace(spec.solver, **solver_updates))
         run_updates = {}

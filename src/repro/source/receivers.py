@@ -33,9 +33,23 @@ class Receiver:
     samples: list[np.ndarray] = field(default_factory=list, repr=False)
 
     def record(self, time: float, dofs: np.ndarray) -> None:
-        """Sample the velocity at the receiver from the global DOF array."""
+        """Sample the velocity at the receiver from the global DOF array.
+
+        Sampling runs in the state's own precision: an f32 run records f32
+        seismograms instead of silently upcasting through the f64 basis
+        values.  The cast is memoized separately so the setup-precision
+        basis values are never destructively overwritten (a receiver may be
+        reused across runs of different precision).
+        """
         coeffs = dofs[self.element, 6:9]  # (3, B[, n_fused])
-        value = np.einsum("vb...,b->v...", coeffs, self.basis_values)
+        basis = self.basis_values
+        if basis.dtype != coeffs.dtype:
+            cast = getattr(self, "_basis_cast", None)
+            if cast is None or cast.dtype != coeffs.dtype:
+                cast = basis.astype(coeffs.dtype)
+                self._basis_cast = cast
+            basis = cast
+        value = np.einsum("vb...,b->v...", coeffs, basis)
         self.times.append(time)
         self.samples.append(np.asarray(value))
 
