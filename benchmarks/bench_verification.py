@@ -1,0 +1,51 @@
+"""Verification harness as a benchmark: convergence orders + suite timing.
+
+Runs the plane-wave refinement ladder (the ``repro verify plane_wave``
+check) at orders 2 and 3 under the reference and the fast kernels, asserts
+the fitted orders, and commits the resulting accuracy/throughput point as
+``BENCH_verification_plane_wave.json`` -- so the accuracy trajectory (do the
+errors or orders move?) is tracked across PRs exactly like the wall-clock
+trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.verification import plane_wave_convergence
+
+from conftest import record_bench, record_result
+
+
+def test_convergence_orders_and_committed_point():
+    results = {}
+    walls = {}
+    for order in (2, 3):
+        for kernels in ("ref", "fast"):
+            start = time.perf_counter()
+            study = plane_wave_convergence(order=order, kernels=kernels)
+            walls[f"order{order}_{kernels}"] = time.perf_counter() - start
+            assert study.passes(), (
+                f"order {order} under {kernels} kernels fitted "
+                f"{study.estimated_order:.2f}, errors {study.errors}"
+            )
+            results[f"order{order}_{kernels}"] = study.to_dict()
+
+    # the fast kernels must not cost accuracy: same fitted order as ref
+    for order in (2, 3):
+        ref = results[f"order{order}_ref"]["estimated_order"]
+        fast = results[f"order{order}_fast"]["estimated_order"]
+        assert abs(ref - fast) < 0.05, (order, ref, fast)
+
+    record_result("verification_convergence", results)
+    record_bench(
+        "verification_plane_wave",
+        wall_s=sum(walls.values()),
+        order2_estimated=results["order2_ref"]["estimated_order"],
+        order3_estimated=results["order3_ref"]["estimated_order"],
+        order3_fast_estimated=results["order3_fast"]["estimated_order"],
+        order3_finest_rel_l2=results["order3_ref"]["errors"][-1],
+        order3_finest_rel_l2_fast=results["order3_fast"]["errors"][-1],
+        ladder_lengths=results["order3_ref"]["lengths"],
+        ladder_wall_s={k: float(v) for k, v in walls.items()},
+    )

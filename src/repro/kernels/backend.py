@@ -9,7 +9,12 @@ clustered LTS, distributed rank steppers) runs through one of:
 
 * :class:`ReferenceBackend` -- delegates to the reference kernel functions
   and preserves their bit-exact behaviour (and their per-call temporaries),
-* :class:`OptimizedBackend` -- the same math restructured for speed:
+* :class:`OptimizedBackend` -- the same math restructured for speed,
+* :class:`FastBackend` -- the optimized structure with the f64 bit-identity
+  pin dropped: every contraction may reassociate (BLAS dispatch), so results
+  are *tolerance-equal* instead of bit-identical.
+
+``OptimizedBackend`` restructures as follows:
 
   1. the per-dimension ``c = 0..2`` star/stiffness applications and the
      per-face/per-mechanism loops are stacked into batched einsums over
@@ -39,6 +44,19 @@ accumulations keep the reference order.  The cached einsum plans of (4) may
 dispatch contractions to BLAS, which reassociates the reductions; they are
 therefore only applied in f32 mode, where results are compared against f64
 within a tolerance anyway and the reassociation buys the largest speedup.
+
+Tolerance-equality contract (fast mode)
+---------------------------------------
+:class:`FastBackend` deliberately breaks the f64 pin: the einsum-plan cache
+engages at every precision, the batched per-element matrix applications are
+lowered to ``np.matmul`` (batched BLAS GEMMs), and the per-dimension /
+per-face / per-mechanism accumulation loops are fused into single
+contractions.  Every output is still assembled from the same exactly-zero-
+sliced operands, so the result differs from the reference only by floating-
+point reassociation.  "Close enough" is not left to ad-hoc ``allclose``
+calls: :mod:`repro.verification` pins the contract with convergence-order
+checks against analytic solutions and committed golden-trace regressions
+under an explicit per-scenario tolerance ladder.
 """
 
 from __future__ import annotations
@@ -63,10 +81,11 @@ __all__ = [
     "KernelWorkspace",
     "ReferenceBackend",
     "OptimizedBackend",
+    "FastBackend",
     "make_backend",
 ]
 
-KERNEL_KINDS = ("ref", "opt")
+KERNEL_KINDS = ("ref", "opt", "fast")
 
 #: environment override for the default backend of directly constructed
 #: solvers (scenario specs name their backend explicitly and win) -- this is
@@ -80,7 +99,7 @@ def make_backend(kind=None):
     ``None`` falls back to the ``REPRO_KERNELS`` environment variable and
     then to ``"ref"``.
     """
-    if isinstance(kind, ReferenceBackend):  # OptimizedBackend subclasses it
+    if isinstance(kind, ReferenceBackend):  # Optimized/FastBackend subclass it
         return kind
     if kind is None:
         kind = os.environ.get(_ENV_VAR) or "ref"
@@ -88,6 +107,8 @@ def make_backend(kind=None):
         return ReferenceBackend()
     if kind == "opt":
         return OptimizedBackend()
+    if kind == "fast":
+        return FastBackend()
     raise ValueError(f"kernel backend must be one of {KERNEL_KINDS}, got {kind!r}")
 
 
@@ -257,6 +278,11 @@ class OptimizedBackend(ReferenceBackend):
 
     name = "opt"
 
+    #: whether f64 contractions run through the einsum-plan cache too; the
+    #: optimized backend keeps f64 on the bit-exact c_einsum kernel, the
+    #: fast backend flips this and plans every dtype
+    _plan_f64 = False
+
     def __init__(self):
         #: cached np.einsum_path plans, keyed by (subscripts, operand shapes)
         self._plans: dict = {}
@@ -280,12 +306,12 @@ class OptimizedBackend(ReferenceBackend):
     def _einsum(self, subscripts: str, *operands, out=None):
         """Einsum through the contraction-plan cache.
 
-        f64 operands stay on numpy's sum-of-products kernel (``optimize=False``)
-        so the result is bit-identical to the reference loops; for other
-        dtypes the cached ``np.einsum_path`` plan is applied, which may
-        dispatch to BLAS.
+        Unless ``_plan_f64`` is set, f64 operands stay on numpy's
+        sum-of-products kernel (``optimize=False``) so the result is
+        bit-identical to the reference loops; everything else applies the
+        cached ``np.einsum_path`` plan, which may dispatch to BLAS.
         """
-        if operands[0].dtype == np.float64:
+        if not self._plan_f64 and operands[0].dtype == np.float64:
             return np.einsum(subscripts, *operands, out=out)
         key = (subscripts,) + tuple(op.shape for op in operands)
         plan = self._plans.get(key)
@@ -659,4 +685,134 @@ class OptimizedBackend(ReferenceBackend):
     def surface_kernel_neighbor(self, disc, coeffs, elements, ws=None):
         data, ops = self._surface_ops(disc, elements, ws, neighbor=True)
         return self._surface_kernel(disc, data, ops, coeffs, ws, "surf_neigh")
+
+
+class FastBackend(OptimizedBackend):
+    """Tolerance-equal f64 execution: the bit-identity pin dropped.
+
+    Reuses the optimized backend's batching, cached operator gathers,
+    zero-block slicing and scratch workspaces, but relaxes the contraction
+    order for speed:
+
+    * every einsum runs through the cached ``np.einsum_path`` plan at every
+      dtype, so the tensordot-shaped contractions (stiffness applications,
+      trace projections, ``F_bar``/``fhat`` multiplies) dispatch to BLAS,
+    * the batched per-element matrix applications (star, coupling, flux
+      solves) are lowered to ``np.matmul`` -- batched GEMMs over folded
+      basis/fused trailing axes,
+    * the four per-face surface contributions are accumulated by one fused
+      ``(face, face_basis)`` contraction instead of a reference-ordered loop,
+      and the per-mechanism anelastic surface terms reuse one common
+      face-summed contribution.
+
+    Results are NOT bit-identical to the reference at any precision; the
+    accuracy contract (convergence order, golden-trace tolerances) is owned
+    by :mod:`repro.verification`.
+    """
+
+    name = "fast"
+    _plan_f64 = True  # the whole point: plans (and BLAS) at f64 too
+
+    @staticmethod
+    def _bmm(matrices, operand, out):
+        """Batched ``matrices @ operand`` with trailing fused axes folded.
+
+        ``matrices`` is ``(..., i, j)``, ``operand`` ``(..., j, B[, f])`` and
+        ``out`` ``(..., i, B[, f])``.  Any fused trailing axes are folded
+        into the GEMM column axis.  Both folds merge only the two innermost
+        axes, which stay contiguous through every call site's middle-axis
+        slicing, so they are views and ``np.matmul`` writes in place; an
+        exotic non-contiguous *operand* would fold through a copy (still
+        correct -- only ``out`` must remain a view, and it is always
+        freshly-allocated contiguous workspace scratch).
+        """
+        batch = matrices.ndim - 1
+        if operand.ndim > matrices.ndim:
+            operand = operand.reshape(operand.shape[:batch] + (-1,))
+            out = out.reshape(out.shape[:batch] + (-1,))
+        np.matmul(matrices, operand, out=out)
+
+    def _star_elastic_apply(self, data, ops, tmp, out, ws, sign):
+        """Fused ``out[:, :9] = sign * sum_c star[c] @ tmp[c]``."""
+        dtype = tmp.dtype
+        if data.star_e_blocks:
+            stress = self._scratch(ws, "star_stress_out", (3,) + out[:, :6].shape, dtype)
+            veloc = self._scratch(ws, "star_veloc_out", (3,) + out[:, 6:N_ELASTIC].shape, dtype)
+            self._bmm(ops["star_stress"], tmp[:, :, 6:N_ELASTIC], stress)
+            self._bmm(ops["star_veloc"], tmp[:, :, :6], veloc)
+            targets = ((out[:, :6], stress), (out[:, 6:N_ELASTIC], veloc))
+        else:  # dense fallback
+            full = self._scratch(ws, "star_full_out", (3,) + out[:, :N_ELASTIC].shape, dtype)
+            self._bmm(ops["star_full"], tmp, full)
+            targets = ((out[:, :N_ELASTIC], full),)
+        for target, parts in targets:
+            np.add(parts[0], parts[1], out=target)
+            target += parts[2]
+            if sign < 0:
+                np.negative(target, out=target)
+
+    def _star_anelastic_apply(self, data, ops, tmp, an_parts, an_common):
+        if data.star_a_velocity:
+            self._bmm(ops["star_a"], tmp[:, :, 6:N_ELASTIC], an_parts)
+        else:
+            self._bmm(ops["star_a"], tmp, an_parts)
+        np.add(an_parts[0], an_parts[1], out=an_common)
+        an_common += an_parts[2]
+
+    def _coupling_apply(self, data, ops, mem, out, ws):
+        coupling = ops["coupling"]
+        n_mech = coupling.shape[1]
+        rows = coupling.shape[2]
+        contrib = self._scratch(
+            ws, "coup_out", (out.shape[0], n_mech, rows) + out.shape[2:], mem.dtype
+        )
+        self._bmm(coupling, mem, contrib)
+        target = out[:, :rows]
+        for l in range(n_mech):
+            target += contrib[:, l]
+
+    def _surface_kernel(self, disc, data, ops, face_coeffs, ws, prefix):
+        """Surface kernels with fused per-face accumulation.
+
+        The four flux solves run as one ``(E, 4)``-batched GEMM and the four
+        ``fhat`` back-projections collapse into a single contraction over
+        ``(face, face_basis)``; the anelastic mechanisms share one common
+        face-summed contribution scaled per ``omega_l``.
+        """
+        fhat = disc.fhat  # (4, F, B)
+        omegas = disc.omegas
+        n_mech = disc.n_mechanisms
+        E = face_coeffs.shape[0]
+        fused = face_coeffs.shape[4:]
+        n_basis = disc.n_basis
+        dtype = face_coeffs.dtype
+
+        out = self._scratch(
+            ws, prefix + "_out", (E, disc.n_vars, n_basis) + fused, dtype
+        )
+        solved = self._scratch(
+            ws, prefix + "_fsolved", (E, 4, N_ELASTIC) + face_coeffs.shape[3:], dtype
+        )
+        self._bmm(ops["flux_e"], face_coeffs, solved)
+        self._einsum("eivf...,ifb->evb...", solved, fhat, out=out[:, :N_ELASTIC])
+
+        if n_mech:
+            flux_a = ops["flux_a"]
+            coeffs_a = (
+                face_coeffs[:, :, 6:N_ELASTIC] if data.flux_a_velocity else face_coeffs
+            )
+            solved_a = self._scratch(
+                ws, prefix + "_fsolved_a", (E, 4, 6) + face_coeffs.shape[3:], dtype
+            )
+            self._bmm(flux_a, coeffs_a, solved_a)
+            common = self._scratch(
+                ws, prefix + "_fcommon", (E, 6, n_basis) + fused, dtype
+            )
+            self._einsum("eivf...,ifb->evb...", solved_a, fhat, out=common)
+            for l in range(n_mech):
+                target = out[:, N_ELASTIC + 6 * l : N_ELASTIC + 6 * (l + 1)]
+                np.multiply(common, omegas[l], out=target)
+        else:
+            out[:, N_ELASTIC:] = 0.0
+        return out
 

@@ -326,6 +326,18 @@ class Discretization:
         start = N_ELASTIC + 6 * mechanism
         return dofs[:, start : start + 6]
 
+    def physical_quadrature_points(self) -> np.ndarray:
+        """Volume-quadrature points of every element, physical coordinates.
+
+        ``(K, n_quad, 3)`` via the affine map ``x = v0 + J xi`` -- the one
+        shared definition behind initial-condition projection and the
+        verification error norms, so the two can never desynchronize.
+        """
+        quad = self.ref.volume_quadrature
+        v0 = self.mesh.vertices[self.mesh.elements][:, 0]
+        jac = self.mesh.geometry.jacobians
+        return v0[:, None, :] + np.einsum("kdr,qr->kqd", jac, quad.points)
+
     def project_initial_condition(self, func, n_fused: int = 0) -> np.ndarray:
         """L2-project an initial condition ``func(points) -> (n_points, n_vars)``.
 
@@ -335,10 +347,7 @@ class Discretization:
         """
         quad = self.ref.volume_quadrature
         psi = self.ref.basis.evaluate(quad.points)  # (nq, B)
-        verts = self.mesh.vertices[self.mesh.elements]
-        v0 = verts[:, 0]
-        jac = self.mesh.geometry.jacobians
-        phys = v0[:, None, :] + np.einsum("kdr,qr->kqd", jac, quad.points)  # (K, nq, 3)
+        phys = self.physical_quadrature_points()
         values = np.asarray(func(phys.reshape(-1, 3)), dtype=np.float64)
         values = values.reshape(self.n_elements, quad.n_points, -1)
         if values.shape[2] != self.n_vars:

@@ -12,6 +12,10 @@
     python -m repro run loh3 --checkpoint run.ckpt.npz --checkpoint-every 1
     python -m repro resume run.ckpt.npz
     python -m repro resume run.ckpt.npz --backend process --checkpoint-every 2
+    python -m repro verify --kernels fast
+    python -m repro verify loh3 --kernels fast --ranks 2 --backend process
+    python -m repro verify plane_wave --kernels fast
+    python -m repro verify --update-golden
 
 (also installed as the ``repro`` console script).
 """
@@ -87,10 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="distributed execution backend: 'serial' steps the ranks "
                           "in-process, 'process' runs one worker process per rank "
                           "with overlapped halo exchange (default serial)")
-    run.add_argument("--kernels", choices=("ref", "opt"),
+    run.add_argument("--kernels", choices=("ref", "opt", "fast"),
                      help="kernel-execution backend: 'ref' runs the plain reference "
                           "kernels, 'opt' runs the batched/planned kernels with "
-                          "reusable scratch workspaces (bit-identical at f64)")
+                          "reusable scratch workspaces (bit-identical at f64), "
+                          "'fast' additionally reassociates contractions through "
+                          "BLAS (tolerance-equal; see 'repro verify')")
     run.add_argument("--precision", choices=("f64", "f32"),
                      help="state/operator precision of the run (default f64)")
     run.add_argument("--partitions", type=int, help="partition count (enables reordering)")
@@ -105,16 +111,42 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write seismogram CSVs and run_summary.json here")
     run.add_argument("--quiet", action="store_true", help="suppress the summary printout")
 
+    verify = sub.add_parser(
+        "verify",
+        help="run the accuracy-verification harness (golden traces + convergence)",
+    )
+    verify.add_argument("name", nargs="?",
+                        help="scenario to verify: a golden scenario (loh3, la_habra) "
+                             "or 'plane_wave' for the convergence ladder; "
+                             "default: the full suite")
+    verify.add_argument("--kernels", choices=("ref", "opt", "fast"), default="ref",
+                        help="kernel-execution backend to verify (default ref)")
+    verify.add_argument("--precision", choices=("f64", "f32"), default="f64",
+                        help="precision to verify (default f64)")
+    verify.add_argument("--ranks", type=int, default=1,
+                        help="verify a distributed run with this many ranks")
+    verify.add_argument("--backend", choices=("serial", "process"), default="serial",
+                        help="distributed execution backend for --ranks > 1")
+    verify.add_argument("--update-golden", action="store_true",
+                        help="regenerate the committed golden fixtures from the "
+                             "reference backend at f64 (commit the result; only "
+                             "legitimate after a deliberate physics change)")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress the JSON report (exit code still reflects "
+                             "pass/fail)")
+
     resume = sub.add_parser("resume", help="resume a checkpointed run")
     resume.add_argument("checkpoint", help="checkpoint file written by 'run --checkpoint'")
     resume.add_argument("--backend", choices=("serial", "process"),
                         help="override the checkpointed execution backend "
                              "(backends are bit-identical)")
-    resume.add_argument("--kernels", choices=("ref", "opt"),
+    resume.add_argument("--kernels", choices=("ref", "opt", "fast"),
                         help="override the checkpointed kernel-execution backend "
-                             "(bit-identical at f64 and therefore rejected for "
-                             "f32 checkpoints; the checkpointed precision itself "
-                             "cannot change)")
+                             "(only between the bit-identical f64 pair ref/opt; "
+                             "rejected for f32 checkpoints and for any override "
+                             "involving 'fast', whose continuation would diverge "
+                             "from the uninterrupted run; the checkpointed "
+                             "precision itself cannot change)")
     resume.add_argument("--checkpoint-every", type=int, metavar="N",
                         help="new checkpoint cadence in macro cycles "
                              "(0 disables; default: the checkpointed spec's cadence)")
@@ -181,7 +213,7 @@ def _resolve_spec(args) -> ScenarioSpec:
 
 def _finish(runner: ScenarioRunner, summary: dict, output_dir, quiet: bool) -> int:
     if output_dir:
-        written = write_outputs(runner, output_dir)
+        written = write_outputs(runner, output_dir, summary=summary)
         summary = dict(summary)
         summary["outputs"] = str(written["run_summary"].parent)
     if not quiet:
@@ -225,6 +257,41 @@ def _cmd_run(args) -> int:
     return _finish(runner, summary, args.output_dir, args.quiet)
 
 
+def _cmd_verify(args) -> int:
+    from ..verification import GOLDEN_SCENARIOS, record_golden, verify_scenario, verify_suite
+
+    if args.update_golden:
+        names = [args.name] if args.name else sorted(GOLDEN_SCENARIOS)
+        try:
+            for name in names:
+                path = record_golden(name)
+                if not args.quiet:
+                    print(f"rewrote {path}", file=sys.stderr)
+        except (KeyError, ValueError, TypeError, OSError) as error:
+            return _input_error(error)
+        return 0
+    options = dict(
+        kernels=args.kernels,
+        precision=args.precision,
+        n_ranks=args.ranks,
+        backend=args.backend,
+    )
+    try:
+        if args.name:
+            report = verify_scenario(args.name, **options)
+            passed = report["passed"]
+        else:
+            report = verify_suite(**options)
+            passed = report["passed"]
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        return _input_error(error)
+    if not args.quiet:
+        print(json.dumps(report, indent=2))
+    if not passed:
+        print("repro verify: FAILED", file=sys.stderr)
+    return 0 if passed else 1
+
+
 def _cmd_resume(args) -> int:
     try:
         runner = ScenarioRunner.resume(
@@ -256,6 +323,8 @@ def main(argv: list[str] | None = None) -> int:
             return _input_error(error)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "resume":
         return _cmd_resume(args)
     raise SystemExit(2)

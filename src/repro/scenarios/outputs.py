@@ -76,10 +76,18 @@ def write_run_summary(path, summary: dict) -> Path:
     return path
 
 
-def write_outputs(runner, directory) -> dict:
-    """Write all artefacts of a finished run into ``directory``."""
+def write_outputs(runner, directory, summary: dict | None = None) -> dict:
+    """Write all artefacts of a finished run into ``directory``.
+
+    ``summary`` reuses an already-computed run summary (``run()`` returns
+    one); recomputing it is not just wasted work -- the accuracy block
+    integrates error norms over the full state, and on the process backend
+    every summary gathers the distributed DOFs.
+    """
     directory = Path(directory)
-    written = {"run_summary": write_run_summary(directory / "run_summary.json", runner.summary())}
+    if summary is None:
+        summary = runner.summary()
+    written = {"run_summary": write_run_summary(directory / "run_summary.json", summary)}
     if runner.receivers is not None:
         written["seismograms"] = write_seismograms(runner.receivers, directory)
     return written

@@ -141,26 +141,13 @@ def _initial_condition(spec: ScenarioSpec, materials: MaterialTable):
 
         return gaussian
     if ic.kind == "plane_wave":
-        # exact elastic plane P wave travelling in +x:
-        #   v_x = g(x), s_xx = -rho vp g, s_yy = s_zz = s_xx * lam / (lam + 2 mu)
-        amplitude = float(params.get("amplitude", 1e-3))
-        wavelength = float(params["wavelength"])
-        rho = float(np.mean(materials.rho))
-        vp = float(np.mean(materials.vp))
-        lam_el = float(np.mean(materials.lam))
-        mu_el = float(np.mean(materials.mu))
-        lateral = lam_el / (lam_el + 2.0 * mu_el)
-        k = 2.0 * np.pi / wavelength
+        # exact elastic plane P wave travelling in +x; the closed form lives
+        # in repro.verification.analytic (one source of truth for the
+        # initial condition AND the accuracy comparisons against it)
+        from ..verification.analytic import plane_wave_from_params
 
-        def plane_wave(points):
-            out = np.zeros((len(points), 9))
-            g = amplitude * np.sin(k * points[:, 0])
-            out[:, 6] = g
-            out[:, 0] = -rho * vp * g
-            out[:, 1] = out[:, 2] = -rho * vp * g * lateral
-            return out
-
-        return plane_wave
+        solution = plane_wave_from_params(params, materials)
+        return lambda points: solution(points, 0.0)
     raise ValueError(f"unknown initial condition kind {ic.kind!r}")
 
 
@@ -228,6 +215,7 @@ def build_setup(spec: ScenarioSpec) -> ScenarioSetup:
         jitter=spec.mesh.jitter,
         seed=spec.mesh.seed,
         topography=_topography(spec),
+        free_surface_top=spec.domain.free_surface,
     )
     materials = MaterialTable.from_velocity_model(model, mesh.centroids)
     if not spec.material.anelastic:
@@ -431,6 +419,9 @@ class ScenarioRunner:
         }
         if self.preprocessed is not None:
             out["n_partitions"] = int(self.preprocessed.partitions.max() + 1)
+        accuracy = self.accuracy()
+        if accuracy is not None:
+            out["accuracy"] = accuracy
         if spec.solver.kind == "legacy-lts":
             volumes = communication_volumes(spec.order, spec.material.n_mechanisms)
             out["legacy_comm"] = {
@@ -440,6 +431,25 @@ class ScenarioRunner:
                 "reduction_face_local": volumes.reduction_face_local(),
             }
         return out
+
+    def accuracy(self) -> dict | None:
+        """Error norms against the scenario's analytic solution, if any.
+
+        Scenarios with a closed-form reference (the elastic plane wave)
+        report per-field L2/Linf errors of the current state; everything
+        else returns ``None`` and the summary carries no accuracy block.
+        Works unchanged for distributed runs: the engine's ``dofs`` property
+        gathers the per-rank state.
+        """
+        from ..verification.analytic import analytic_solution_for
+        from ..verification.norms import state_error_norms
+
+        solution = analytic_solution_for(self.setup)
+        if solution is None:
+            return None
+        return state_error_norms(
+            self.setup.disc, self.solver.dofs, float(self.solver.time), solution
+        )
 
     # -- checkpoint / restart -------------------------------------------
     def save_checkpoint(self, path) -> None:
@@ -511,13 +521,15 @@ class ScenarioRunner:
         ``solver.n_ranks > 1`` resumes as a distributed run (and vice versa),
         regardless of which class this is called on.  ``backend`` overrides
         the checkpointed execution backend (``"serial"``/``"process"``) and
-        ``kernels`` the kernel-execution backend (``"ref"``/``"opt"``) --
-        both are bit-identical at f64, so a run checkpointed under one can
-        resume under the other.  The checkpointed *precision* is part of the
-        serialised state and cannot be overridden; at f32 the kernel
+        ``kernels`` the kernel-execution backend -- but only between
+        backends that are bit-identical to each other, i.e. the f64
+        ``"ref"``/``"opt"`` pair.  The checkpointed *precision* is part of
+        the serialised state and cannot be overridden; at f32 the kernel
         backends are only tolerance-equal (the optimized backend's planned
-        contractions reassociate), so a kernels override is rejected there
-        to keep the continuation guarantee honest.
+        contractions reassociate), and the ``"fast"`` backend reassociates
+        at every precision, so those overrides are rejected to keep the
+        continuation guarantee honest.  A checkpoint written under
+        ``"fast"`` resumes under ``"fast"`` without any override.
         """
         with np.load(path) as data:
             meta = json.loads(str(data["meta"]))
@@ -535,6 +547,14 @@ class ScenarioRunner:
                         "f32 checkpoint: f32 kernel backends are not "
                         "bit-identical, so the continuation would diverge "
                         "from the uninterrupted run"
+                    )
+                if "fast" in (kernels, spec.solver.kernels):
+                    raise ValueError(
+                        "the kernel backend cannot change between 'fast' and "
+                        "a bit-exact backend on resume: 'fast' reassociates "
+                        "contractions, so the continuation would diverge from "
+                        "the uninterrupted run (resume a 'fast' checkpoint "
+                        "without --kernels to continue in fast mode)"
                     )
                 spec = spec.with_overrides(kernels=kernels)
             runner_cls = runner_class_for(spec)

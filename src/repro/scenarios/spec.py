@@ -57,7 +57,7 @@ SOLVER_KINDS = ("gts", "lts", "legacy-lts")
 SOLVER_BACKENDS = ("serial", "process")
 # kept in sync with repro.kernels.backend.KERNEL_KINDS and
 # repro.kernels.discretization.PRECISIONS (spec stays import-light)
-SOLVER_KERNELS = ("ref", "opt")
+SOLVER_KERNELS = ("ref", "opt", "fast")
 SOLVER_PRECISIONS = ("f64", "f32")
 VELOCITY_MODEL_KINDS = ("loh3", "la_habra_basin", "homogeneous", "layered")
 TIME_FUNCTION_KINDS = ("ricker", "gaussian_derivative", "smoothed_step")
@@ -89,11 +89,19 @@ def _normalized_params(params: dict) -> dict:
 
 @dataclass(frozen=True)
 class DomainSpec:
-    """The (box) simulation domain ``x0 < x1, y0 < y1, z0 < z1`` (z up)."""
+    """The (box) simulation domain ``x0 < x1, y0 < y1, z0 < z1`` (z up).
+
+    ``free_surface`` keeps the usual seismic setup (traction-free top
+    z-plane, absorbing sides); ``False`` makes every boundary absorbing --
+    the configuration convergence studies against free-space analytic
+    solutions need, since a travelling wave violates the traction-free
+    condition.
+    """
 
     extent: tuple[float, float, float, float, float, float]
     topography: str = "none"
     topography_amplitude: float = 0.0
+    free_surface: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "extent", _floats(self.extent))
@@ -329,12 +337,15 @@ class SolverSpec:
     communicator, ``"process"`` runs one worker process per rank with real
     overlapped halo exchange -- results are bit-identical either way.
     ``kernels`` selects the kernel-execution backend: ``"ref"`` (the plain
-    reference kernels) or ``"opt"`` (precompiled contraction plans, batched
-    structure-exploiting einsums and reusable scratch workspaces); at f64
-    the two are bit-identical.  The default follows the ``REPRO_KERNELS``
-    environment variable (falling back to ``"ref"``) and is resolved at
-    construction time, so one CI leg can soak every spec-driven test under
-    the optimized kernels while serialised specs stay explicit.
+    reference kernels), ``"opt"`` (precompiled contraction plans, batched
+    structure-exploiting einsums and reusable scratch workspaces; at f64
+    bit-identical to ``"ref"``) or ``"fast"`` (the optimized structure with
+    the bit-identity pin dropped -- BLAS-reassociated contractions and fused
+    accumulations, *tolerance-equal* under the :mod:`repro.verification`
+    contract).  The default follows the ``REPRO_KERNELS`` environment
+    variable (falling back to ``"ref"``) and is resolved at construction
+    time, so one CI leg can soak every spec-driven test under a non-default
+    kernel backend while serialised specs stay explicit.
     ``precision`` runs the solver state and operators in ``"f64"`` or
     ``"f32"`` end to end (halo payloads included).
     """

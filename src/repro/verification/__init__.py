@@ -1,0 +1,48 @@
+"""Accuracy verification: analytic solutions, error norms, golden traces.
+
+The kernel-backend work made execution strategy pluggable; this package
+makes *accuracy* a tested contract instead of an ad-hoc ``allclose``:
+
+* :mod:`~repro.verification.analytic` -- closed-form reference solutions
+  (the travelling plane P wave behind the ``plane_wave`` scenario),
+* :mod:`~repro.verification.norms` -- per-field L2/Linf error norms of a
+  DG state against a reference function,
+* :mod:`~repro.verification.convergence` -- convergence-order estimation
+  over mesh-refinement ladders,
+* :mod:`~repro.verification.golden` -- committed golden seismogram fixtures
+  and the per-scenario tolerance ladder that non-bit-exact kernel modes
+  (``fast``, f32) are held to,
+* :mod:`~repro.verification.harness` -- the end-to-end suite behind the
+  ``repro verify`` CLI subcommand.
+"""
+
+from .analytic import PlaneWaveSolution, analytic_solution_for
+from .convergence import ConvergenceStudy, estimate_order, plane_wave_convergence
+from .golden import (
+    GOLDEN_SCENARIOS,
+    compare_to_golden,
+    golden_fixture_path,
+    load_golden,
+    record_golden,
+    seismogram_tolerance,
+)
+from .harness import verify_scenario, verify_suite
+from .norms import FIELD_NAMES, state_error_norms
+
+__all__ = [
+    "PlaneWaveSolution",
+    "analytic_solution_for",
+    "ConvergenceStudy",
+    "estimate_order",
+    "plane_wave_convergence",
+    "GOLDEN_SCENARIOS",
+    "golden_fixture_path",
+    "load_golden",
+    "record_golden",
+    "compare_to_golden",
+    "seismogram_tolerance",
+    "verify_scenario",
+    "verify_suite",
+    "FIELD_NAMES",
+    "state_error_norms",
+]

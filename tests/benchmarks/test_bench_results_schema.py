@@ -1,0 +1,76 @@
+"""Schema validation of the committed ``benchmarks/results/BENCH_*.json``.
+
+These small files are the perf trajectory tracked across PRs; they are
+written exclusively by ``benchmarks/conftest.record_bench``.  A stale or
+hand-edited point (missing host stamp, non-finite or non-positive timing,
+wrong name) would silently poison every cross-PR comparison -- so the
+committed files are linted here, in tier-1.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent.parent.parent / "benchmarks" / "results"
+
+#: every key record_bench stamps into the host block
+HOST_KEYS = {"cpu_count", "numpy", "python", "platform"}
+
+#: keys that, when present at the top level or nested one level deep, must
+#: be finite positive floats (wall clocks, throughputs, byte counts)
+TIMING_SUFFIXES = ("wall_s", "element_updates_per_s", "comm_bytes", "_ms")
+
+
+def bench_files():
+    return sorted(RESULTS_DIR.glob("BENCH_*.json"))
+
+
+def _timing_items(payload: dict):
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            yield from _timing_items(value)
+        elif any(key.endswith(suffix) or key == suffix for suffix in TIMING_SUFFIXES):
+            yield key, value
+
+
+def test_committed_points_exist():
+    assert bench_files(), f"no committed BENCH_*.json under {RESULTS_DIR}"
+
+
+@pytest.mark.parametrize("path", bench_files(), ids=lambda p: p.stem)
+def test_bench_point_schema(path):
+    payload = json.loads(path.read_text())
+    # the name key must match the file, so globbing stays trustworthy
+    assert payload["bench"] == path.stem.removeprefix("BENCH_")
+
+    host = payload.get("host")
+    assert isinstance(host, dict), "host metadata stamp missing"
+    assert HOST_KEYS <= set(host), f"host stamp incomplete: {sorted(host)}"
+    assert isinstance(host["cpu_count"], int) and host["cpu_count"] >= 1
+    for key in ("numpy", "python", "platform"):
+        assert isinstance(host[key], str) and host[key]
+
+    timings = list(_timing_items(payload))
+    assert timings, "a perf point must carry at least one timing quantity"
+    for key, value in timings:
+        assert isinstance(value, (int, float)) and not isinstance(value, bool), key
+        assert math.isfinite(value), f"{key} is not finite: {value}"
+        assert value > 0.0, f"{key} must be positive: {value}"
+
+
+@pytest.mark.parametrize("path", bench_files(), ids=lambda p: p.stem)
+def test_speedups_are_consistent_with_wall_clocks(path):
+    """Where a point carries both per-variant wall clocks and derived
+    speedups, the ratio must actually match (hand-edits diverge here)."""
+    payload = json.loads(path.read_text())
+    for key, value in payload.items():
+        if not key.startswith("speedup_") or "_vs_" not in key:
+            continue
+        num, _, den = key.removeprefix("speedup_").partition("_vs_")
+        num_wall = payload.get(f"{den}_wall_s")
+        den_wall = payload.get(f"{num}_wall_s")
+        if num_wall is None or den_wall is None:
+            continue
+        assert value == pytest.approx(num_wall / den_wall, rel=1e-9), key

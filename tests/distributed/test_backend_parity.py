@@ -15,6 +15,8 @@ import pytest
 
 from repro.scenarios import ScenarioRunner, get_scenario, make_runner
 
+pytestmark = pytest.mark.distributed
+
 
 @pytest.fixture(scope="module")
 def tiny_loh3():

@@ -27,6 +27,10 @@ from repro.scenarios import (
 )
 from repro.scenarios.cli import main as cli_main
 
+from .conftest import assert_cross_rank_equal
+
+pytestmark = pytest.mark.distributed
+
 
 @pytest.fixture(scope="module")
 def tiny_loh3():
@@ -111,7 +115,7 @@ class TestBitIdentity:
         assert runner.engine.n_ranks == n_ranks
         summary = runner.run()
 
-        np.testing.assert_array_equal(runner.solver.dofs, single_run.solver.dofs)
+        assert_cross_rank_equal(runner.solver.dofs, single_run.solver.dofs)
         assert np.abs(runner.solver.dofs).max() > 0.0, "the run must move"
         assert summary["element_updates"] == single_run.solver.n_element_updates
         assert runner.solver.time == single_run.solver.time
@@ -119,14 +123,14 @@ class TestBitIdentity:
             t_single, v_single = single_run.receivers[name].seismogram()
             t_dist, v_dist = runner.receivers[name].seismogram()
             np.testing.assert_array_equal(t_dist, t_single)
-            np.testing.assert_array_equal(v_dist, v_single)
+            assert_cross_rank_equal(v_dist, v_single)
 
     def test_three_clusters_four_ranks(self, three_cluster):
         single = ScenarioRunner(three_cluster)
         single.run()
         dist = make_runner(three_cluster.with_overrides(n_ranks=4))
         dist.run()
-        np.testing.assert_array_equal(dist.solver.dofs, single.solver.dofs)
+        assert_cross_rank_equal(dist.solver.dofs, single.solver.dofs)
 
     def test_fused_ensemble(self, tiny_loh3):
         spec = tiny_loh3.with_overrides(n_fused=2, n_cycles=2)
@@ -134,7 +138,7 @@ class TestBitIdentity:
         single.run()
         dist = make_runner(spec.with_overrides(n_ranks=2))
         dist.run()
-        np.testing.assert_array_equal(dist.solver.dofs, single.solver.dofs)
+        assert_cross_rank_equal(dist.solver.dofs, single.solver.dofs)
 
     def test_preprocessed_partitions_are_reused(self, tiny_loh3):
         spec = tiny_loh3.with_overrides(n_partitions=2, reorder=True, n_ranks=2)
@@ -145,7 +149,7 @@ class TestBitIdentity:
         single = ScenarioRunner(spec.with_overrides(n_ranks=1))
         dist.run()
         single.run()
-        np.testing.assert_array_equal(dist.solver.dofs, single.solver.dofs)
+        assert_cross_rank_equal(dist.solver.dofs, single.solver.dofs)
 
 
 class TestCommunicationAccounting:
@@ -251,7 +255,7 @@ class TestCheckpointRestart:
 
         single_full = ScenarioRunner(tiny_loh3)
         single_full.run()
-        np.testing.assert_array_equal(resumed.solver.dofs, single_full.solver.dofs)
+        assert_cross_rank_equal(resumed.solver.dofs, single_full.solver.dofs)
 
 
 class TestSpecAndDispatch:

@@ -1,0 +1,204 @@
+"""Fast (tolerance-equal) kernel backend tests.
+
+The contract of ``FastBackend``: same math as the reference, arbitrary
+reassociation.  Results must track the reference within a few ULPs per
+kernel call (the per-kernel checks below) and within the verification
+tolerance ladder over whole runs (tests/verification/).  Bit-identity is
+explicitly NOT promised -- the one thing these tests never assert.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import derive_clustering
+from repro.core.gts_solver import GlobalTimeSteppingSolver
+from repro.core.lts_solver import ClusteredLtsSolver
+from repro.equations.material import MaterialTable, ViscoelasticMaterial
+from repro.kernels.backend import FastBackend, OptimizedBackend, ReferenceBackend, make_backend
+from repro.kernels.discretization import Discretization, N_ELASTIC
+
+from .conftest import small_mesh
+
+
+def _random_dofs(disc, n_fused=0, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (disc.n_elements, disc.n_vars, disc.n_basis)
+    if n_fused:
+        shape += (n_fused,)
+    return rng.standard_normal(shape)
+
+
+def _assert_close(actual, expected, rtol=1e-12, name=""):
+    scale = np.abs(expected).max()
+    err = np.abs(np.asarray(actual) - np.asarray(expected)).max()
+    assert err <= rtol * scale, f"{name}: rel err {err / scale:.3e} > {rtol:.0e}"
+
+
+class TestResolution:
+    def test_make_backend(self):
+        assert isinstance(make_backend("fast"), FastBackend)
+        assert make_backend("fast").name == "fast"
+        backend = FastBackend()
+        assert make_backend(backend) is backend
+        # FastBackend is an OptimizedBackend (shares gathers/workspaces) and
+        # therefore also a ReferenceBackend (shares the local_update pipeline)
+        assert isinstance(backend, OptimizedBackend)
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "fast")
+        assert make_backend(None).name == "fast"
+
+    def test_plan_cache_engages_at_f64(self):
+        fast = FastBackend()
+        a, b = np.ones((4, 5)), np.ones((5, 3))
+        fast._einsum("ij,jk->ik", a, b)
+        assert len(fast._plans) == 1  # unlike opt, f64 is planned too
+
+
+class TestKernelToleranceParity:
+    """Per-kernel: fast output within a few ULPs of the reference."""
+
+    @pytest.fixture(scope="class", params=["elastic", "viscoelastic"])
+    def disc(self, request):
+        mesh = small_mesh(n=2, jitter=0.1)
+        material = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        table = MaterialTable.homogeneous(material, mesh.n_elements)
+        n_mechanisms = 3 if request.param == "viscoelastic" else 0
+        return Discretization(mesh, table, order=4, n_mechanisms=n_mechanisms)
+
+    @pytest.mark.parametrize("n_fused", [0, 2])
+    def test_local_update(self, disc, n_fused):
+        ref, fast = ReferenceBackend(), FastBackend()
+        ws = fast.make_workspace()
+        dofs = _random_dofs(disc, n_fused)
+        elements = np.arange(disc.n_elements)
+        dt = float(disc.time_steps.min())
+        delta_r, ti_r, derivs_r, traces_r = ref.local_update(disc, dofs, dt, elements)
+        delta_f, ti_f, derivs_f, traces_f = fast.local_update(disc, dofs, dt, elements, ws=ws)
+        _assert_close(ti_f, ti_r, name="time_integrated")
+        _assert_close(delta_f, delta_r, name="delta")
+        _assert_close(traces_f, traces_r, name="traces")
+        for d, (d_r, d_f) in enumerate(zip(derivs_r, derivs_f)):
+            _assert_close(d_f, d_r, name=f"derivative {d}")
+
+    def test_neighbor_path(self, disc):
+        ref, fast = ReferenceBackend(), FastBackend()
+        ws = fast.make_workspace()
+        dofs = _random_dofs(disc, seed=3)
+        elements = np.arange(disc.n_elements)
+        dt = float(disc.time_steps.min())
+        _, ti, _, _ = ref.local_update(disc, dofs, dt, elements)
+        te = ti[:, :N_ELASTIC]
+        neighbor_te = te[np.maximum(disc.mesh.neighbors, 0)]
+        traces_r = ref.project_local_traces(disc, te, elements)
+        traces_f = fast.project_local_traces(disc, te, elements, ws=ws)
+        _assert_close(traces_f, traces_r, name="traces")
+        coeffs_r = ref.neighbor_face_coefficients(disc, neighbor_te, traces_r, elements)
+        coeffs_f = fast.neighbor_face_coefficients(disc, neighbor_te, traces_r, elements, ws=ws)
+        _assert_close(coeffs_f, coeffs_r, name="coefficients")
+        out_r = ref.surface_kernel_neighbor(disc, coeffs_r, elements)
+        out_f = fast.surface_kernel_neighbor(disc, coeffs_r, elements, ws=ws)
+        _assert_close(out_f, out_r, name="neighbor surface")
+
+    def test_batch_subsets_are_self_consistent(self, disc):
+        """Splitting a batch (the distributed boundary/interior split) stays
+        within tolerance of the full batch -- unlike opt, not bit-identical,
+        because the GEMM shapes (and thus the reassociation) change."""
+        fast = FastBackend()
+        ws = fast.make_workspace()
+        dofs = _random_dofs(disc)
+        dt = float(disc.time_steps.min())
+        full = np.arange(disc.n_elements)
+        delta_full, _, _, _ = fast.local_update(disc, dofs, dt, full, ws=ws)
+        delta_full = delta_full.copy()
+        for subset in (full[: disc.n_elements // 2], full[disc.n_elements // 2 :]):
+            delta_sub, _, _, _ = fast.local_update(disc, dofs, dt, subset, ws=ws)
+            _assert_close(delta_sub, delta_full[subset], name="subset")
+
+    def test_dense_fallback_when_structure_absent(self):
+        mesh = small_mesh(n=1, jitter=0.05)
+        material = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        table = MaterialTable.homogeneous(material, mesh.n_elements)
+        dense = Discretization(mesh, table, order=3, n_mechanisms=3)
+        rng = np.random.default_rng(7)
+        dense.star_elastic = dense.star_elastic + 1e-3 * rng.standard_normal(
+            dense.star_elastic.shape
+        )
+        fast = FastBackend()
+        assert not fast._disc_data(dense).star_e_blocks
+        dofs = _random_dofs(dense, seed=5)
+        elements = np.arange(dense.n_elements)
+        dt = float(dense.time_steps.min())
+        delta_r, ti_r, _, _ = ReferenceBackend().local_update(dense, dofs, dt, elements)
+        delta_f, ti_f, _, _ = fast.local_update(
+            dense, dofs, dt, elements, ws=fast.make_workspace()
+        )
+        _assert_close(ti_f, ti_r, name="ti dense")
+        _assert_close(delta_f, delta_r, name="delta dense")
+
+
+class TestSolverToleranceParity:
+    """Whole solver runs stay within tolerance of the reference kernels."""
+
+    @pytest.fixture(scope="class")
+    def graded(self):
+        mesh = small_mesh(n=3, jitter=0.25, seed=2)
+        material = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        table = MaterialTable.homogeneous(material, mesh.n_elements)
+        disc = Discretization(mesh, table, order=3, n_mechanisms=3)
+        clustering = derive_clustering(disc.time_steps, 2, 1.0, disc.mesh.neighbors)
+        return disc, clustering
+
+    def test_clustered_lts_cycles(self, graded):
+        disc, clustering = graded
+        ic = lambda points: np.exp(
+            -np.sum((points - points.mean(axis=0)) ** 2, axis=1, keepdims=True)
+            / (2 * 500.0**2)
+        ) * np.ones((1, 9))
+        solvers = {}
+        for kind in ("ref", "fast"):
+            solver = ClusteredLtsSolver(disc, clustering, kernels=kind)
+            solver.set_initial_condition(ic)
+            for _ in range(3):
+                solver.step_cycle()
+            solvers[kind] = solver
+        _assert_close(solvers["fast"].dofs, solvers["ref"].dofs, rtol=1e-11, name="lts dofs")
+        for name in ("b1", "b2", "b3"):
+            _assert_close(
+                getattr(solvers["fast"].buffers, name),
+                getattr(solvers["ref"].buffers, name),
+                rtol=1e-11,
+                name=name,
+            )
+
+    def test_gts_solver(self, graded):
+        disc, _ = graded
+        ic = lambda points: np.ones((len(points), 9)) * np.sin(points[:, :1] / 300.0)
+        solvers = {}
+        for kind in ("ref", "fast"):
+            solver = GlobalTimeSteppingSolver(disc, kernels=kind)
+            solver.set_initial_condition(ic)
+            for _ in range(3):
+                solver.step()
+            solvers[kind] = solver
+        _assert_close(solvers["fast"].dofs, solvers["ref"].dofs, rtol=1e-11, name="gts dofs")
+
+    def test_f32_tracks_f64_within_tolerance(self):
+        mesh = small_mesh(n=2, jitter=0.1)
+        material = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        table = MaterialTable.homogeneous(material, mesh.n_elements)
+        results = {}
+        for precision in ("f64", "f32"):
+            disc = Discretization(mesh, table, order=3, n_mechanisms=3, precision=precision)
+            clustering = derive_clustering(disc.time_steps, 2, 1.0, disc.mesh.neighbors)
+            solver = ClusteredLtsSolver(disc, clustering, kernels="fast")
+            solver.set_initial_condition(
+                lambda points: np.ones((len(points), 9)) * np.cos(points[:, :1] / 400.0)
+            )
+            for _ in range(2):
+                solver.step_cycle()
+            results[precision] = solver.dofs
+        assert results["f32"].dtype == np.float32
+        scale = np.abs(results["f64"]).max()
+        err = np.abs(results["f32"].astype(np.float64) - results["f64"]).max()
+        assert err <= 1e-4 * scale

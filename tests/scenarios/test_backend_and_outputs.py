@@ -44,9 +44,11 @@ class TestSpecOptions:
 
     def test_validation(self):
         with pytest.raises(ValueError, match="kernels"):
-            SolverSpec(kernels="fast")
+            SolverSpec(kernels="vectorized")
         with pytest.raises(ValueError, match="precision"):
             SolverSpec(precision="f128")
+        # "fast" is a real kernel mode (tolerance-equal, see repro.verification)
+        assert SolverSpec(kernels="fast").kernels == "fast"
 
     def test_cli_flags_parse(self):
         args = build_parser().parse_args(

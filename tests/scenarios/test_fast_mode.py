@@ -1,0 +1,97 @@
+"""Fast kernel mode through the scenario layer: CLI, checkpoints, verify.
+
+The fast backend is spec-addressable (``--kernels fast``), deterministic
+(checkpoint resume continues bit-identically *within* fast mode), and
+fenced (resume refuses to silently switch between fast and a bit-exact
+backend mid-run).  The ``repro verify`` subcommand is the shipping bar.
+"""
+
+import numpy as np
+import pytest
+
+import repro.verification.golden as golden_module
+from repro.scenarios import ScenarioRunner, get_scenario
+from repro.scenarios.cli import main
+
+
+@pytest.fixture()
+def tiny_plane_wave():
+    return get_scenario(
+        "plane_wave", extent_m=1500.0, characteristic_length=750.0, order=2, n_cycles=4
+    )
+
+
+class TestFastThroughRunner:
+    def test_summary_reports_fast_and_tracks_reference(self, tiny_plane_wave):
+        fast = ScenarioRunner(tiny_plane_wave.with_overrides(kernels="fast"))
+        s_fast = fast.run()
+        assert s_fast["kernels"] == "fast"
+        ref = ScenarioRunner(tiny_plane_wave.with_overrides(kernels="ref"))
+        ref.run()
+        scale = np.abs(ref.solver.dofs).max()
+        err = np.abs(fast.solver.dofs - ref.solver.dofs).max()
+        assert 0.0 <= err <= 1e-12 * scale
+        # the analytic accuracy block agrees to the same fidelity
+        assert s_fast["accuracy"]["rel_l2"] == pytest.approx(
+            ref.summary()["accuracy"]["rel_l2"], rel=1e-9
+        )
+
+    def test_checkpoint_resume_continues_fast_bitwise(self, tiny_plane_wave, tmp_path):
+        spec = tiny_plane_wave.with_overrides(kernels="fast")
+        path = tmp_path / "fast.ckpt.npz"
+        full = ScenarioRunner(spec)
+        full.run()
+        half = ScenarioRunner(spec)
+        for _ in range(2):
+            half.step_cycle()
+        half.save_checkpoint(path)
+        resumed = ScenarioRunner.resume(path)
+        assert resumed.spec.solver.kernels == "fast"
+        resumed.run()
+        # fast is deterministic: the continuation replays the same GEMMs
+        assert np.array_equal(resumed.solver.dofs, full.solver.dofs)
+
+    @pytest.mark.parametrize(
+        "checkpointed,override", [("ref", "fast"), ("fast", "ref"), ("fast", "opt")]
+    )
+    def test_resume_refuses_crossing_the_bit_identity_fence(
+        self, tiny_plane_wave, tmp_path, checkpointed, override
+    ):
+        path = tmp_path / "x.ckpt.npz"
+        runner = ScenarioRunner(tiny_plane_wave.with_overrides(kernels=checkpointed))
+        runner.step_cycle()
+        runner.save_checkpoint(path)
+        with pytest.raises(ValueError, match="fast"):
+            ScenarioRunner.resume(path, kernels=override)
+
+    def test_resume_still_allows_ref_opt_swap(self, tiny_plane_wave, tmp_path):
+        path = tmp_path / "r.ckpt.npz"
+        runner = ScenarioRunner(tiny_plane_wave.with_overrides(kernels="ref"))
+        runner.step_cycle()
+        runner.save_checkpoint(path)
+        resumed = ScenarioRunner.resume(path, kernels="opt")
+        assert resumed.spec.solver.kernels == "opt"
+
+
+class TestVerifyCli:
+    def test_run_accepts_fast(self, capsys):
+        rc = main(["run", "plane_wave", "--smoke", "--kernels", "fast", "--quiet"])
+        assert rc == 0
+
+    def test_verify_golden_scenario_passes(self, capsys):
+        assert main(["verify", "loh3", "--kernels", "fast", "--quiet"]) == 0
+
+    def test_verify_unknown_scenario_is_input_error(self, capsys):
+        assert main(["verify", "does_not_exist", "--quiet"]) == 2
+
+    def test_verify_failure_sets_exit_code(self, monkeypatch, capsys):
+        # an impossible ladder: even the reassociation floor fails it
+        monkeypatch.setitem(
+            golden_module.SCENARIO_TOLERANCES, "la_habra", {("fast", "f64"): 0.0}
+        )
+        assert main(["verify", "la_habra", "--kernels", "fast", "--quiet"]) == 1
+
+    def test_update_golden_writes_fixtures(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(golden_module, "FIXTURES_DIR", tmp_path)
+        assert main(["verify", "la_habra", "--update-golden", "--quiet"]) == 0
+        assert (tmp_path / "golden_la_habra.json").exists()

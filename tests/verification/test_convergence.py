@@ -1,0 +1,42 @@
+"""Convergence-order verification on the plane-wave refinement ladder."""
+
+import pytest
+
+from repro.verification import plane_wave_convergence
+
+
+class TestPlaneWaveConvergence:
+    def test_order2_ladder_gts(self):
+        """GTS at order 2 converges at ~h^2 -- under the fast kernels, which
+        is exactly the point: reassociated contractions must not cost order."""
+        study = plane_wave_convergence(order=2, lengths=(500.0, 250.0), kernels="fast")
+        assert study.passes()
+        assert study.estimated_order == pytest.approx(2.0, abs=0.75)
+        assert study.errors[-1] < study.errors[0]
+
+    @pytest.mark.slow
+    def test_order3_ladder_all_kernels(self):
+        """The full suite ladder at order 3, for every kernel backend.
+
+        ref / opt / fast must all reach the formal order; ref and opt are
+        bit-identical so their studies must agree exactly, fast only within
+        the fit's own resolution.
+        """
+        studies = {
+            kind: plane_wave_convergence(order=3, kernels=kind)
+            for kind in ("ref", "opt", "fast")
+        }
+        for kind, study in studies.items():
+            assert study.passes(), (kind, study.estimated_order, study.errors)
+        assert studies["ref"].errors == studies["opt"].errors  # bit-identical
+        assert studies["fast"].estimated_order == pytest.approx(
+            studies["ref"].estimated_order, abs=0.05
+        )
+
+    def test_report_shape(self):
+        study = plane_wave_convergence(order=2, lengths=(500.0, 250.0), kernels="fast")
+        report = study.to_dict()
+        assert report["expected_order"] == 2
+        assert len(report["errors"]) == len(report["lengths"]) == 2
+        assert report["passed"] == study.passes()
+        assert report["kernels"] == "fast"
