@@ -13,6 +13,7 @@ import numpy as np
 from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization
 from ..kernels.update import gts_step
+from ..observability import NULL_TELEMETRY
 from ..source.moment_tensor import DiscretePointSource, MomentTensorSource, PointForceSource
 from ..source.receivers import ReceiverSet
 
@@ -35,6 +36,7 @@ class GlobalTimeSteppingSolver:
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
         kernels=None,
+        telemetry=None,
     ):
         self.disc = disc
         self.dt = float(dt) if dt is not None else float(disc.time_steps.min())
@@ -43,7 +45,9 @@ class GlobalTimeSteppingSolver:
         self.n_fused = n_fused
         self.receivers = receivers
         self.sources = [self._bind_source(s) for s in (sources or [])]
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.backend = make_backend(kernels)
+        self.backend.telemetry = self.telemetry
         self.workspace = self.backend.make_workspace()
         self.dofs = disc.allocate_dofs(n_fused=n_fused)
         self.time = 0.0
@@ -63,9 +67,10 @@ class GlobalTimeSteppingSolver:
 
     def step(self) -> None:
         """Advance all elements by one global time step."""
-        self.dofs = gts_step(
-            self.disc, self.dofs, self.dt, backend=self.backend, ws=self.workspace
-        )
+        with self.telemetry.region("update"):
+            self.dofs = gts_step(
+                self.disc, self.dofs, self.dt, backend=self.backend, ws=self.workspace
+            )
         for source in self.sources:
             source.inject(self.dofs, self.time, self.time + self.dt)
         self.time += self.dt

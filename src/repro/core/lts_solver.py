@@ -22,6 +22,7 @@ import numpy as np
 
 from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization, N_ELASTIC
+from ..observability import NULL_TELEMETRY
 from ..source.moment_tensor import DiscretePointSource, MomentTensorSource, PointForceSource
 from ..source.receivers import ReceiverSet
 from .buffers import BOUNDARY, LARGER, SAME, SMALLER, LtsBuffers
@@ -81,6 +82,7 @@ class ClusteredLtsSolver:
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
         kernels=None,
+        telemetry=None,
     ):
         if len(clustering.cluster_ids) != disc.n_elements:
             raise ValueError("clustering does not match the discretization")
@@ -95,7 +97,9 @@ class ClusteredLtsSolver:
         for source in self.sources:
             self._sources_by_element.setdefault(source.element, []).append(source)
 
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.backend = make_backend(kernels)
+        self.backend.telemetry = self.telemetry
         self.dofs = disc.allocate_dofs(n_fused=n_fused)
         self.buffers = LtsBuffers(disc, n_fused=n_fused)
         self.clusters = [
@@ -131,9 +135,10 @@ class ClusteredLtsSolver:
         if len(cluster.elements) == 0:
             cluster.pending_local_delta = None
             return
-        delta, time_integrated_elastic, local_traces = self._predict_elements(
-            cluster, cluster.elements
-        )
+        with self.telemetry.region("predict"):
+            delta, time_integrated_elastic, local_traces = self._predict_elements(
+                cluster, cluster.elements
+            )
         cluster.pending_local_delta = delta
         cluster.pending_te = time_integrated_elastic
         cluster.pending_traces = local_traces
@@ -194,12 +199,14 @@ class ClusteredLtsSolver:
             cluster.step_index += 1
             return
         disc = self.disc
-        coeffs = self._neighbor_coefficients(cluster)
-        delta = cluster.pending_local_delta
-        delta += self.backend.surface_kernel_neighbor(
-            disc, coeffs, cluster.elements, ws=cluster.workspace
-        )
-        self.dofs[cluster.elements] += delta
+        with self.telemetry.region("correct"):
+            coeffs = self._neighbor_coefficients(cluster)
+            delta = cluster.pending_local_delta
+            with self.telemetry.region("kernel.surface_neighbor"):
+                delta += self.backend.surface_kernel_neighbor(
+                    disc, coeffs, cluster.elements, ws=cluster.workspace
+                )
+            self.dofs[cluster.elements] += delta
         cluster.pending_local_delta = None
         cluster.pending_te = None
         cluster.pending_traces = None
@@ -212,6 +219,10 @@ class ClusteredLtsSolver:
             self.receivers.record_elements(cluster.elements, t_new, self.dofs)
 
         self.n_element_updates += len(cluster.elements)
+        if self.telemetry.enabled:
+            self.telemetry.inc(
+                f"updates/cluster{cluster.cluster_id}", len(cluster.elements)
+            )
         cluster.step_index += 1
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.clustering import Clustering
 from ..core.lts_scheduler import schedule_cycle
 from ..kernels.discretization import Discretization
+from ..observability import TelemetryConfig, merge_snapshots
 from ..parallel.communicator import SimulatedCommunicator
 from ..parallel.exchange import HaloIndex, exchange_volumes_per_cycle
 from ..source.moment_tensor import DiscretePointSource
@@ -85,6 +86,8 @@ class DistributedLtsEngine:
         receivers: ReceiverSet | None = None,
         n_fused: int = 0,
         kernels=None,
+        telemetry: TelemetryConfig | None = None,
+        telemetry_epoch: float | None = None,
     ):
         partitions = np.asarray(partitions, dtype=np.int64)
         if len(partitions) != disc.n_elements:
@@ -105,6 +108,15 @@ class DistributedLtsEngine:
         self.subdomains = [
             RankSubdomain(disc, clustering, partitions, r) for r in range(self.n_ranks)
         ]
+        self.telemetry_config = telemetry if telemetry is not None else TelemetryConfig()
+        #: one telemetry lane per rank, sharing the engine's trace epoch so
+        #: the exported Chrome-trace lanes line up on one timeline
+        self._rank_telemetry = [
+            self.telemetry_config.build(rank=r, epoch=telemetry_epoch)
+            for r in range(self.n_ranks)
+        ]
+        for lane in self._rank_telemetry[1:]:
+            lane.epoch = self._rank_telemetry[0].epoch
         self.ranks = [
             RankSolver(
                 sub,
@@ -113,8 +125,9 @@ class DistributedLtsEngine:
                 receivers=None,
                 n_fused=n_fused,
                 kernels=kernels,
+                telemetry=lane,
             )
-            for sub in self.subdomains
+            for sub, lane in zip(self.subdomains, self._rank_telemetry)
         ]
         self.rebind_receivers()
 
@@ -285,6 +298,24 @@ class DistributedLtsEngine:
     def stats(self):
         """Measured communication statistics (messages/bytes, per pair)."""
         return self.comm.stats
+
+    def telemetry_snapshots(self) -> list[dict]:
+        """Cumulative per-rank telemetry snapshots (one lane per rank)."""
+        return [lane.snapshot() for lane in self._rank_telemetry]
+
+    def merged_telemetry(self) -> dict:
+        """Cross-rank merged regions/counters of this engine's lanes."""
+        return merge_snapshots(self.telemetry_snapshots())
+
+    def trace_lanes(self) -> list[tuple]:
+        """``(lane_name, tid, events)`` triples for the Chrome-trace export.
+
+        Draining is destructive, so callers export once per run.
+        """
+        return [
+            (lane.lane, lane.rank, lane.drain_events())
+            for lane in self._rank_telemetry
+        ]
 
     def modelled_exchange_per_cycle(self) -> dict:
         """The Fig-10 machine model's view of the same halo, for validation."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
 
 import numpy as np
@@ -41,6 +42,7 @@ from ..core.clustering import Clustering
 from ..core.lts_scheduler import schedule_cycle
 from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization
+from ..observability import TelemetryConfig, merge_snapshots
 from ..parallel.communicator import MessageStats
 from ..parallel.exchange import HaloIndex
 from ..parallel.process_comm import ProcessCommunicator
@@ -77,6 +79,8 @@ def _rank_worker(
     outbound: dict,
     ctrl,
     comm_timeout: float,
+    telemetry_config: TelemetryConfig,
+    telemetry_epoch: float,
 ) -> None:
     """One rank's event loop: build the local solver, serve parent commands."""
     try:
@@ -84,6 +88,9 @@ def _rank_worker(
             rank, subdomain.n_ranks, inbound, outbound, timeout=comm_timeout
         )
         receivers = _shim_receiver_set(shims)
+        # the lane uses the parent's trace epoch: perf_counter is the
+        # system-wide monotonic clock, so all rank lanes share one timeline
+        lane = telemetry_config.build(rank=rank, epoch=telemetry_epoch)
         solver = RankSolver(
             subdomain,
             comm,
@@ -91,6 +98,7 @@ def _rank_worker(
             receivers=receivers,
             n_fused=n_fused,
             kernels=kernels,
+            telemetry=lane,
         )
         n_clusters = len(cluster_time_steps)
         dt0 = float(cluster_time_steps[0])
@@ -115,17 +123,19 @@ def _rank_worker(
                     raise RuntimeError(
                         f"rank {rank}: undelivered halo payloads after a macro cycle"
                     )
-                ctrl.send(
-                    (
-                        "ok",
-                        {
-                            "time": solver.time,
-                            "n_element_updates": int(solver.n_element_updates),
-                            "stats": comm.stats.as_dict(),
-                            "records": _new_records(receivers, reported),
-                        },
-                    )
-                )
+                reply = {
+                    "time": solver.time,
+                    "n_element_updates": int(solver.n_element_updates),
+                    "stats": comm.stats.as_dict(),
+                    "records": _new_records(receivers, reported),
+                }
+                if lane.enabled:
+                    # cumulative metric snapshot plus the trace-event
+                    # *increment* (drained), mirroring the records protocol:
+                    # per-cycle IPC stays proportional to new work
+                    reply["telemetry"] = lane.snapshot()
+                    reply["trace_events"] = lane.drain_events()
+                ctrl.send(("ok", reply))
             elif command == "dofs":
                 ctrl.send(("ok", solver.dofs))
             elif command == "set_dofs":
@@ -211,6 +221,8 @@ class ProcessLtsEngine:
         n_fused: int = 0,
         kernels=None,
         comm_timeout: float | None = None,
+        telemetry: TelemetryConfig | None = None,
+        telemetry_epoch: float | None = None,
     ):
         partitions = np.asarray(partitions, dtype=np.int64)
         if len(partitions) != disc.n_elements:
@@ -252,6 +264,18 @@ class ProcessLtsEngine:
         self._n_element_updates = 0
         self._rank_stats = [MessageStats().as_dict() for _ in range(self.n_ranks)]
         self._stats_base = MessageStats()
+        self.telemetry_config = telemetry if telemetry is not None else TelemetryConfig()
+        #: one shared trace epoch for every worker generation, so lanes of a
+        #: respawned engine continue on the same timeline
+        self._telemetry_epoch = (
+            telemetry_epoch if telemetry_epoch is not None else time.perf_counter()
+        )
+        #: per-rank mirrors of the workers' cumulative telemetry snapshots
+        #: (current spawn) and the merged history of earlier spawns --
+        #: exactly the _rank_stats/_stats_base split used for traffic
+        self._rank_telemetry: list[dict] = [{} for _ in range(self.n_ranks)]
+        self._telemetry_base: list[dict] = [{} for _ in range(self.n_ranks)]
+        self._rank_trace_events: list[list] = [[] for _ in range(self.n_ranks)]
         self._cache: dict | None = None
         self._procs: list = []
         self._ctrls: list = []
@@ -316,6 +340,8 @@ class ProcessLtsEngine:
                     outbound,
                     child_end,
                     self.comm_timeout,
+                    self.telemetry_config,
+                    self._telemetry_epoch,
                 ),
                 daemon=True,
             )
@@ -340,6 +366,13 @@ class ProcessLtsEngine:
         for stats in self._rank_stats:
             self._stats_base.merge(stats)
         self._rank_stats = [MessageStats().as_dict() for _ in range(self.n_ranks)]
+        # ... and so must the telemetry accrued by the previous workers
+        for r in range(self.n_ranks):
+            if self._rank_telemetry[r]:
+                self._telemetry_base[r] = merge_snapshots(
+                    [self._telemetry_base[r], self._rank_telemetry[r]]
+                )
+        self._rank_telemetry = [{} for _ in range(self.n_ranks)]
         self._spawn()
         if self._cache is not None:
             state = self._cache
@@ -518,6 +551,10 @@ class ProcessLtsEngine:
         self._n_element_updates = sum(r["n_element_updates"] for r in replies)
         self._rank_stats = [r["stats"] for r in replies]
         self._merge_records([r["records"] for r in replies])
+        if self.telemetry_config.enabled:
+            self._rank_telemetry = [r.get("telemetry", {}) for r in replies]
+            for events, reply in zip(self._rank_trace_events, replies):
+                events.extend(reply.get("trace_events", []))
         self.cycles_stepped += 1
 
     def run(self, t_end: float) -> np.ndarray:
@@ -608,6 +645,29 @@ class ProcessLtsEngine:
         for stats in self._rank_stats:
             total.merge(stats)
         return total
+
+    def telemetry_snapshots(self) -> list[dict]:
+        """Cumulative per-rank telemetry, current workers plus prior spawns."""
+        snapshots = []
+        for r in range(self.n_ranks):
+            merged = merge_snapshots(
+                [self._telemetry_base[r], self._rank_telemetry[r]]
+            )
+            merged["rank"] = r
+            merged["lane"] = f"rank {r}"
+            snapshots.append(merged)
+        return snapshots
+
+    def merged_telemetry(self) -> dict:
+        """Cross-rank merged regions/counters of the workers' lanes."""
+        return merge_snapshots(self.telemetry_snapshots())
+
+    def trace_lanes(self) -> list[tuple]:
+        """``(lane_name, tid, events)`` triples for the Chrome-trace export."""
+        return [
+            (f"rank {r}", r, list(events))
+            for r, events in enumerate(self._rank_trace_events)
+        ]
 
     def modelled_exchange_per_cycle(self) -> dict:
         """The Fig-10 machine model's view of the same halo, for validation."""

@@ -44,6 +44,10 @@ class DistributedRunner(ScenarioRunner):
         engine_cls = (
             ProcessLtsEngine if spec.solver.backend == "process" else DistributedLtsEngine
         )
+        # the runner's own lane becomes the "driver" lane (preprocessing,
+        # checkpoint I/O) next to the engine's per-rank lanes; sharing the
+        # epoch puts all lanes on one trace timeline
+        self.telemetry.lane = "driver"
         self.engine = engine_cls(
             disc,
             self.clustering,
@@ -52,6 +56,8 @@ class DistributedRunner(ScenarioRunner):
             receivers=self.receivers,
             n_fused=spec.solver.n_fused,
             kernels=spec.solver.kernels,
+            telemetry=self.telemetry_config,
+            telemetry_epoch=self.telemetry.epoch,
         )
         return self.engine
 
@@ -72,6 +78,12 @@ class DistributedRunner(ScenarioRunner):
         return partition_dual_graph(disc.mesh.neighbors, weights, n_ranks).partitions
 
     # -- run lifecycle --------------------------------------------------
+    def step_cycle(self) -> None:
+        # the macro-cycle span lives on the driver lane (the rank lanes are
+        # separate objects here), marking cycle boundaries in the timeline
+        with self.telemetry.region("cycle"):
+            super().step_cycle()
+
     def run(
         self,
         *,
@@ -120,6 +132,31 @@ class DistributedRunner(ScenarioRunner):
             "model": model,
         }
         return out
+
+    # -- telemetry ------------------------------------------------------
+    def _telemetry_snapshots(self) -> list[dict]:
+        return self.engine.telemetry_snapshots() + [self.telemetry.snapshot()]
+
+    def _trace_lanes(self) -> list[tuple]:
+        lanes = self.engine.trace_lanes()
+        lanes.append(
+            (self.telemetry.lane, self.engine.n_ranks, self.telemetry.drain_events())
+        )
+        return lanes
+
+    def _concurrent_lanes(self) -> int:
+        # process-backend ranks advance in parallel (each lane spans the
+        # wall clock); the serial engine interleaves them in one process
+        if self.spec.solver.backend == "process":
+            return self.engine.n_ranks
+        return 1
+
+    def telemetry_block(self) -> dict:
+        block = super().telemetry_block()
+        stats = self.engine.stats
+        block["counters"]["comm/messages"] = int(stats.n_messages)
+        block["counters"]["comm/bytes"] = int(stats.n_bytes)
+        return block
 
     # -- checkpoint / restart -------------------------------------------
     def _solver_state_arrays(self) -> dict:

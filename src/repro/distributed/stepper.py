@@ -50,6 +50,7 @@ class RankSolver(ClusteredLtsSolver):
         n_fused: int = 0,
         clustering: Clustering | None = None,
         kernels=None,
+        telemetry=None,
     ):
         self.subdomain = subdomain
         self.comm = communicator
@@ -61,6 +62,7 @@ class RankSolver(ClusteredLtsSolver):
             receivers=receivers,
             n_fused=n_fused,
             kernels=kernels,
+            telemetry=telemetry,
         )
         #: per-cluster (boundary, interior) element-id arrays, materialised
         #: once: a stable array identity per batch keeps the workspace's
@@ -121,17 +123,20 @@ class RankSolver(ClusteredLtsSolver):
     # ------------------------------------------------------------------
     def begin_micro_step(self, entry: dict) -> None:
         """Boundary predictions of the due clusters plus the due sends."""
-        for l in entry["predict"]:
-            self.predict_boundary(self.clusters[l])
-        self.send_due(entry["micro_step"])
-        flush = getattr(self.comm, "flush", None)
-        if flush is not None:
-            flush()
+        with self.telemetry.region("predict.boundary"):
+            for l in entry["predict"]:
+                self.predict_boundary(self.clusters[l])
+        with self.telemetry.region("send"):
+            self.send_due(entry["micro_step"])
+            flush = getattr(self.comm, "flush", None)
+            if flush is not None:
+                flush()
 
     def advance_interior(self, entry: dict) -> None:
         """Interior predictions (overlap: the sends are already in flight)."""
-        for l in entry["predict"]:
-            self.predict_interior(self.clusters[l])
+        with self.telemetry.region("predict.interior"):
+            for l in entry["predict"]:
+                self.predict_interior(self.clusters[l])
 
     def finish_micro_step(self, entry: dict, dt0: float) -> None:
         """Corrections of the clusters whose interval ends after this step."""
@@ -183,14 +188,18 @@ class RankSolver(ClusteredLtsSolver):
         """Local coefficients plus the received halo payloads."""
         coeffs = super()._neighbor_coefficients(cluster)
         plan = self.subdomain.recv_plans[cluster.cluster_id]
-        for row, face, src, tag, count in zip(
-            plan.rows, plan.faces, plan.src_ranks, plan.tags, plan.counts
-        ):
-            # consume the statically known number of due messages and keep
-            # the freshest payload: a faster sender refreshes its accumulated
-            # B3 twice per receiver step.  The count (not a "pending" poll)
-            # is what makes the receive correct on blocking channels.
-            for _ in range(count):
-                payload = self.comm.recv(int(src), self.rank, int(tag))
-            coeffs[row, face] = payload
+        if len(plan.rows) == 0:
+            return coeffs
+        with self.telemetry.region("recv_wait"):
+            for row, face, src, tag, count in zip(
+                plan.rows, plan.faces, plan.src_ranks, plan.tags, plan.counts
+            ):
+                # consume the statically known number of due messages and keep
+                # the freshest payload: a faster sender refreshes its
+                # accumulated B3 twice per receiver step.  The count (not a
+                # "pending" poll) is what makes the receive correct on
+                # blocking channels.
+                for _ in range(count):
+                    payload = self.comm.recv(int(src), self.rank, int(tag))
+                coeffs[row, face] = payload
         return coeffs

@@ -66,6 +66,7 @@ import os
 
 import numpy as np
 
+from ..observability import NULL_TELEMETRY
 from .ader import compute_time_derivatives, time_integrate
 from .discretization import N_ELASTIC
 from .surface import (
@@ -156,6 +157,12 @@ class ReferenceBackend:
 
     name = "ref"
 
+    #: per-solver telemetry lane; the owning solver overwrites this with its
+    #: own instance, so kernel-kind timings land in the right rank's lane.
+    #: The class default is the shared no-op, keeping direct backend use
+    #: (tests, benchmarks) unmeasured and overhead-free.
+    telemetry = NULL_TELEMETRY
+
     def make_workspace(self) -> KernelWorkspace | None:
         """Reference kernels allocate per call; no workspace is kept."""
         return None
@@ -192,15 +199,23 @@ class ReferenceBackend:
         this method (on either backend), so the bit-exactness-critical
         kernel sequence exists exactly once per backend.
         """
-        derivatives = self.compute_time_derivatives(disc, dofs, elements, ws=ws)
-        time_integrated = self.time_integrate(derivatives, 0.0, dt, ws=ws, key="local_ti")
-        local_traces = self.project_local_traces(
-            disc, time_integrated[:, :N_ELASTIC], elements, ws=ws
-        )
-        delta = self.volume_kernel(disc, time_integrated, elements, ws=ws)
-        delta += self.surface_kernel_local(
-            disc, time_integrated, elements, local_traces, ws=ws
-        )
+        telemetry = self.telemetry
+        with telemetry.region("kernel.ck"):
+            derivatives = self.compute_time_derivatives(disc, dofs, elements, ws=ws)
+        with telemetry.region("kernel.integrate"):
+            time_integrated = self.time_integrate(
+                derivatives, 0.0, dt, ws=ws, key="local_ti"
+            )
+        with telemetry.region("kernel.trace"):
+            local_traces = self.project_local_traces(
+                disc, time_integrated[:, :N_ELASTIC], elements, ws=ws
+            )
+        with telemetry.region("kernel.volume"):
+            delta = self.volume_kernel(disc, time_integrated, elements, ws=ws)
+        with telemetry.region("kernel.surface_local"):
+            delta += self.surface_kernel_local(
+                disc, time_integrated, elements, local_traces, ws=ws
+            )
         return delta, time_integrated, derivatives, local_traces
 
 

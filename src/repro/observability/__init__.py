@@ -1,0 +1,27 @@
+"""Observability: hierarchical phase timers, metrics and Chrome traces.
+
+The measurement substrate for the paper's performance decomposition --
+per-phase/per-cluster/per-rank timings of the clustered-LTS micro-step
+schedule, counters for updates/FLOPs/halo traffic, and ``chrome://tracing``
+timelines showing how well communication hides behind interior work.
+Disabled by default with a near-zero no-op path; enabled per run via
+``output.telemetry`` in the scenario spec or ``--metrics``/``--trace`` on
+the CLI.
+"""
+
+from .metrics import Histogram, MetricsRegistry, merge_metrics
+from .timers import NULL_TELEMETRY, Telemetry, TelemetryConfig, merge_snapshots
+from .trace import build_chrome_trace, validate_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "merge_metrics",
+    "NULL_TELEMETRY",
+    "Telemetry",
+    "TelemetryConfig",
+    "merge_snapshots",
+    "build_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,92 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) JSON export.
+
+The exporter renders one horizontal lane per rank (plus an optional driver
+lane) out of the ``(path, start_us, duration_us)`` event tuples collected by
+:class:`~repro.observability.timers.Telemetry` when tracing is on.  Events
+use the "X" (complete) phase of the trace-event format with microsecond
+timestamps; lane names come from "M" thread-name metadata records, which is
+what both viewers use to label rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["build_chrome_trace", "write_chrome_trace", "validate_chrome_trace"]
+
+_PID = 1  # single logical process: one timeline, one lane per rank
+
+
+def build_chrome_trace(lanes: list[tuple[str, int, list[tuple]]]) -> dict:
+    """Build the trace payload from ``(lane_name, tid, events)`` triples."""
+    trace_events = []
+    for lane_name, tid, events in lanes:
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": tid,
+            "args": {"name": lane_name},
+        })
+        for path, start_us, dur_us in events:
+            trace_events.append({
+                # display the leaf name; keep the full nested path in args
+                "name": path.rsplit("/", 1)[-1],
+                "cat": path.split("/", 1)[0].split(".", 1)[0],
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "ts": start_us,
+                "dur": dur_us,
+                "args": {"path": path},
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, lanes) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(build_chrome_trace(lanes)) + "\n")
+    return path
+
+
+def validate_chrome_trace(payload: dict, expect_lanes: int | None = None) -> dict:
+    """Structural sanity check shared by the test suite and the CI smoke.
+
+    Verifies the payload is a trace-event container whose "X" events carry
+    finite, non-negative microsecond timestamps/durations and whose lanes
+    are properly named; returns ``{lane_name: n_events}``.  Raises
+    ``ValueError`` on the first violation.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    lane_names: dict[int, str] = {}
+    counts: dict[int, int] = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                lane_names[event["tid"]] = event["args"]["name"]
+            continue
+        if ph != "X":
+            raise ValueError(f"unexpected event phase {ph!r}")
+        ts, dur = event.get("ts"), event.get("dur")
+        for key, value in (("ts", ts), ("dur", dur)):
+            if not isinstance(value, (int, float)) or value != value:
+                raise ValueError(f"non-numeric {key} in event {event.get('name')!r}")
+            if value < 0:
+                raise ValueError(f"negative {key}={value} in event {event.get('name')!r}")
+        if not event.get("name"):
+            raise ValueError("unnamed slice event")
+        counts[event["tid"]] = counts.get(event["tid"], 0) + 1
+    unnamed = set(counts) - set(lane_names)
+    if unnamed:
+        raise ValueError(f"lanes without thread_name metadata: {sorted(unnamed)}")
+    by_lane = {lane_names[tid]: n for tid, n in counts.items()}
+    if expect_lanes is not None and len(by_lane) < expect_lanes:
+        raise ValueError(
+            f"expected at least {expect_lanes} populated lanes, got {sorted(by_lane)}"
+        )
+    return by_lane

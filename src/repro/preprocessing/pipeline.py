@@ -25,6 +25,7 @@ from ..mesh.geometry import cfl_time_steps
 from ..mesh.refinement import elements_per_wavelength_rule
 from ..mesh.reorder import reorder_elements
 from ..mesh.tet_mesh import TetMesh
+from ..observability import NULL_TELEMETRY
 from ..parallel.partition import PartitionResult, element_weights, partition_dual_graph
 
 __all__ = ["PreprocessedModel", "PreprocessingPipeline"]
@@ -77,6 +78,7 @@ class PreprocessingPipeline:
         lam: float | None = None,
         topography=None,
         seed: int = 0,
+        telemetry=None,
     ):
         self.velocity_model = velocity_model
         self.extent = extent
@@ -92,6 +94,7 @@ class PreprocessingPipeline:
         self.lam = lam
         self.topography = topography
         self.seed = seed
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     def build_mesh(self) -> TetMesh:
@@ -104,19 +107,23 @@ class PreprocessingPipeline:
         )
         x0, x1, y0, y1, z0, z1 = self.extent
         horizontal = rule(z1)  # resolution demanded by the slowest (shallow) material
-        return layered_box_mesh(
-            extent=self.extent,
-            edge_length_of_depth=rule,
-            horizontal_edge_length=horizontal,
-            jitter=self.jitter,
-            seed=self.seed,
-            topography=self.topography,
-        )
+        with self.telemetry.region("preprocess.mesh"):
+            return layered_box_mesh(
+                extent=self.extent,
+                edge_length_of_depth=rule,
+                horizontal_edge_length=horizontal,
+                jitter=self.jitter,
+                seed=self.seed,
+                topography=self.topography,
+            )
 
     def run(self) -> PreprocessedModel:
         """Execute the full pipeline and return the preprocessed model."""
         mesh = self.build_mesh()
-        materials = MaterialTable.from_velocity_model(self.velocity_model, mesh.centroids)
+        with self.telemetry.region("preprocess.materials"):
+            materials = MaterialTable.from_velocity_model(
+                self.velocity_model, mesh.centroids
+            )
         return self.preprocess(mesh, materials)
 
     def preprocess(self, mesh: TetMesh, materials: MaterialTable) -> PreprocessedModel:
@@ -125,48 +132,59 @@ class PreprocessingPipeline:
         The scenario runner uses this entry point to route spec-built meshes
         through clustering, weighted partitioning and reordering.
         """
-        time_steps = cfl_time_steps(
-            mesh.insphere_radii, materials.max_wave_speed, self.order, self.cfl
-        )
+        with self.telemetry.region("preprocess.time_steps"):
+            time_steps = cfl_time_steps(
+                mesh.insphere_radii, materials.max_wave_speed, self.order, self.cfl
+            )
 
         # LTS clustering (Sec. V-A): an explicit lambda wins, otherwise the
         # grid search runs (or lambda = 1 when the search is disabled)
-        if self.lam is not None:
-            clustering = derive_clustering(time_steps, self.n_clusters, self.lam, mesh.neighbors)
-        elif self.optimize_lambda_increment > 0:
-            clustering = optimize_lambda(
-                time_steps, self.n_clusters, mesh.neighbors, self.optimize_lambda_increment
-            )
-        else:
-            clustering = derive_clustering(time_steps, self.n_clusters, 1.0, mesh.neighbors)
+        with self.telemetry.region("preprocess.clustering"):
+            if self.lam is not None:
+                clustering = derive_clustering(
+                    time_steps, self.n_clusters, self.lam, mesh.neighbors
+                )
+            elif self.optimize_lambda_increment > 0:
+                clustering = optimize_lambda(
+                    time_steps, self.n_clusters, mesh.neighbors,
+                    self.optimize_lambda_increment,
+                )
+            else:
+                clustering = derive_clustering(
+                    time_steps, self.n_clusters, 1.0, mesh.neighbors
+                )
 
         # weighted partitioning (Sec. V-C)
-        weights = element_weights(clustering.cluster_ids, clustering.n_clusters)
-        partition: PartitionResult = partition_dual_graph(
-            mesh.neighbors, weights, self.n_partitions
-        )
+        with self.telemetry.region("preprocess.partition"):
+            weights = element_weights(clustering.cluster_ids, clustering.n_clusters)
+            partition: PartitionResult = partition_dual_graph(
+                mesh.neighbors, weights, self.n_partitions
+            )
 
         # reordering by partition, cluster and communication role (Sec. VI)
-        send_role = np.any(
-            (mesh.neighbors >= 0)
-            & (
-                partition.partitions[np.maximum(mesh.neighbors, 0)]
-                != partition.partitions[:, None]
-            ),
-            axis=1,
-        ).astype(np.int64)
-        reorder = reorder_elements(partition.partitions, clustering.cluster_ids, send_role)
-        perm = reorder.permutation
+        with self.telemetry.region("preprocess.reorder"):
+            send_role = np.any(
+                (mesh.neighbors >= 0)
+                & (
+                    partition.partitions[np.maximum(mesh.neighbors, 0)]
+                    != partition.partitions[:, None]
+                ),
+                axis=1,
+            ).astype(np.int64)
+            reorder = reorder_elements(
+                partition.partitions, clustering.cluster_ids, send_role
+            )
+            perm = reorder.permutation
 
-        reordered_mesh = mesh.permuted(perm)
-        reordered_materials = materials.subset(perm)
-        reordered_steps = time_steps[perm]
-        reordered_clustering = Clustering(
-            cluster_ids=clustering.cluster_ids[perm],
-            cluster_time_steps=clustering.cluster_time_steps,
-            lam=clustering.lam,
-            dt_min=clustering.dt_min,
-        )
+            reordered_mesh = mesh.permuted(perm)
+            reordered_materials = materials.subset(perm)
+            reordered_steps = time_steps[perm]
+            reordered_clustering = Clustering(
+                cluster_ids=clustering.cluster_ids[perm],
+                cluster_time_steps=clustering.cluster_time_steps,
+                lam=clustering.lam,
+                dt_min=clustering.dt_min,
+            )
         return PreprocessedModel(
             mesh=reordered_mesh,
             materials=reordered_materials,

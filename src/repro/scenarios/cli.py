@@ -107,6 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--checkpoint", metavar="PATH", help="checkpoint file to write")
     run.add_argument("--checkpoint-every", type=int, metavar="N",
                      help="checkpoint cadence in macro cycles")
+    run.add_argument("--metrics", action="store_true",
+                     help="enable phase timers and the metrics registry: the "
+                          "run summary gains a 'telemetry' block (phase "
+                          "breakdown, counters, updates/s and GFLOP/s)")
+    run.add_argument("--trace", metavar="PATH",
+                     help="write a Chrome-trace JSON timeline (one lane per "
+                          "rank) to PATH; open in Perfetto or chrome://tracing; "
+                          "implies --metrics")
     run.add_argument("--output-dir", metavar="DIR",
                      help="write seismogram CSVs and run_summary.json here")
     run.add_argument("--quiet", action="store_true", help="suppress the summary printout")
@@ -150,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--checkpoint-every", type=int, metavar="N",
                         help="new checkpoint cadence in macro cycles "
                              "(0 disables; default: the checkpointed spec's cadence)")
+    resume.add_argument("--metrics", action="store_true",
+                        help="enable telemetry for the resumed segment "
+                             "(see 'run --metrics')")
+    resume.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome-trace timeline of the resumed "
+                             "segment to PATH; implies --metrics")
     resume.add_argument("--output-dir", metavar="DIR")
     resume.add_argument("--quiet", action="store_true")
 
@@ -205,19 +219,40 @@ def _resolve_spec(args) -> ScenarioSpec:
         n_partitions=args.partitions,
         reorder=True if (args.reorder or args.partitions) else None,
         seed=args.seed,
+        telemetry=True if (args.metrics or args.trace) else None,
+        trace=True if args.trace else None,
     )
     if args.smoke:
         spec = spec.smoke()
     return spec
 
 
-def _finish(runner: ScenarioRunner, summary: dict, output_dir, quiet: bool) -> int:
+def _finish(
+    runner: ScenarioRunner,
+    summary: dict,
+    output_dir,
+    quiet: bool,
+    trace_path=None,
+) -> int:
+    if trace_path:
+        runner.write_trace(trace_path)
     if output_dir:
         written = write_outputs(runner, output_dir, summary=summary)
         summary = dict(summary)
         summary["outputs"] = str(written["run_summary"].parent)
     if not quiet:
         print(json.dumps(summary, indent=2))
+        memory = summary.get("memory", {})
+        rss = memory.get("peak_rss_mb")
+        banner = f"[{summary['scenario']}] wall {summary['wall_s']:.2f} s"
+        if rss is not None:
+            banner += f", peak RSS {rss:.0f} MiB"
+            children = memory.get("peak_rss_children_mb")
+            if children is not None:
+                banner += f" (+{children:.0f} MiB workers)"
+        if trace_path:
+            banner += f", trace -> {trace_path}"
+        print(banner, file=sys.stderr)
     return 0
 
 
@@ -254,7 +289,7 @@ def _cmd_run(args) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
     )
-    return _finish(runner, summary, args.output_dir, args.quiet)
+    return _finish(runner, summary, args.output_dir, args.quiet, trace_path=args.trace)
 
 
 def _cmd_verify(args) -> int:
@@ -295,7 +330,11 @@ def _cmd_verify(args) -> int:
 def _cmd_resume(args) -> int:
     try:
         runner = ScenarioRunner.resume(
-            args.checkpoint, backend=args.backend, kernels=args.kernels
+            args.checkpoint,
+            backend=args.backend,
+            kernels=args.kernels,
+            telemetry=True if (args.metrics or args.trace) else None,
+            trace=True if args.trace else None,
         )
     except (KeyError, ValueError, TypeError, OSError) as error:
         return _input_error(error)
@@ -309,7 +348,7 @@ def _cmd_resume(args) -> int:
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
     )
-    return _finish(runner, summary, args.output_dir, args.quiet)
+    return _finish(runner, summary, args.output_dir, args.quiet, trace_path=args.trace)
 
 
 def main(argv: list[str] | None = None) -> int:

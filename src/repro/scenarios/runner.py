@@ -32,6 +32,7 @@ from ..kernels.discretization import Discretization
 from ..mesh.generation import layered_box_mesh
 from ..mesh.refinement import elements_per_wavelength_rule
 from ..mesh.tet_mesh import TetMesh
+from ..observability import TelemetryConfig, merge_snapshots, write_chrome_trace
 from ..preprocessing.velocity_model import LaHabraBasinModel, Layer, LayeredVelocityModel, loh3_model
 from ..source.receivers import ReceiverSet
 from .spec import ScenarioSpec
@@ -47,6 +48,44 @@ __all__ = [
 ]
 
 CHECKPOINT_FORMAT_VERSION = 1
+
+#: top-level region names that make up the stepping phase breakdown of the
+#: ``telemetry`` summary block (preprocessing/checkpoint regions run outside
+#: the timed cycle loop and are reported separately)
+PHASE_REGIONS = (
+    "predict",
+    "predict.boundary",
+    "predict.interior",
+    "send",
+    "correct",
+    "update",
+)
+
+
+def peak_memory() -> dict:
+    """Peak resident-set size (and tracemalloc peak, when tracing) in MiB.
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalised here so the
+    summary block is platform-independent.  ``tracemalloc`` only reports when
+    the caller started it (e.g. via ``REPRO_TRACEMALLOC=1``) -- tracing
+    slows allocation-heavy code down far too much to be on by default.
+    """
+    import resource
+    import sys
+    import tracemalloc
+
+    scale = 1.0 if sys.platform == "darwin" else 1024.0
+    block = {
+        "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        * scale
+        / (1024.0**2)
+    }
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    if children > 0:  # worker processes of the process backend
+        block["peak_rss_children_mb"] = children * scale / (1024.0**2)
+    if tracemalloc.is_tracing():
+        block["tracemalloc_peak_mb"] = tracemalloc.get_traced_memory()[1] / (1024.0**2)
+    return block
 
 
 # ---------------------------------------------------------------------------
@@ -250,6 +289,18 @@ class ScenarioRunner:
         clustering: Clustering | None = None,
     ):
         self.spec = spec
+        self.telemetry_config = TelemetryConfig(
+            enabled=spec.output.telemetry, trace=spec.output.trace
+        )
+        #: the runner's own telemetry lane: the single-rank solver shares it
+        #: directly; distributed runs keep it as the "driver" lane (engine
+        #: construction, checkpoint I/O) beside the per-rank lanes
+        self.telemetry = self.telemetry_config.build(rank=0)
+        if os.environ.get("REPRO_TRACEMALLOC"):
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
         self.setup = setup if setup is not None else build_setup(spec)
         self.preprocessed = None
         if spec.preprocessing.active:
@@ -286,6 +337,7 @@ class ScenarioRunner:
                 receivers=self.receivers,
                 n_fused=spec.solver.n_fused,
                 kernels=spec.solver.kernels,
+                telemetry=self.telemetry,
             )
         # "lts" and "legacy-lts" share the clustered driver
         return ClusteredLtsSolver(
@@ -295,6 +347,7 @@ class ScenarioRunner:
             receivers=self.receivers,
             n_fused=spec.solver.n_fused,
             kernels=spec.solver.kernels,
+            telemetry=self.telemetry,
         )
 
     # -- preprocessing --------------------------------------------------
@@ -319,6 +372,7 @@ class ScenarioRunner:
             optimize_lambda_increment=spec.clustering.increment,
             lam=spec.clustering.lam,
             seed=spec.mesh.seed,
+            telemetry=self.telemetry,
         )
         model = pipeline.preprocess(self.setup.mesh, self.setup.materials)
         disc = _build_discretization(spec, model.mesh, model.materials)
@@ -419,6 +473,9 @@ class ScenarioRunner:
         }
         if self.preprocessed is not None:
             out["n_partitions"] = int(self.preprocessed.partitions.max() + 1)
+        out["memory"] = peak_memory()
+        if self.telemetry_config.enabled:
+            out["telemetry"] = self.telemetry_block()
         accuracy = self.accuracy()
         if accuracy is not None:
             out["accuracy"] = accuracy
@@ -431,6 +488,80 @@ class ScenarioRunner:
                 "reduction_face_local": volumes.reduction_face_local(),
             }
         return out
+
+    # -- telemetry ------------------------------------------------------
+    def _telemetry_snapshots(self) -> list[dict]:
+        """Per-lane cumulative snapshots (the distributed runner overrides
+        this with the engine's per-rank lanes plus its driver lane)."""
+        return [self.telemetry.snapshot()]
+
+    def _trace_lanes(self) -> list[tuple]:
+        """``(lane_name, tid, events)`` triples for the Chrome-trace export."""
+        return [(self.telemetry.lane, self.telemetry.rank, self.telemetry.drain_events())]
+
+    def _concurrent_lanes(self) -> int:
+        """How many lanes record wall time *concurrently*.
+
+        Phase totals are normalised by this so their sum is comparable to
+        ``wall_s``: process-backend ranks overlap in time (each lane spans
+        the whole wall clock), while a single solver -- or the serial
+        engine's interleaved ranks -- accounts every second exactly once.
+        """
+        return 1
+
+    def telemetry_block(self) -> dict:
+        """The ``telemetry`` block of the run summary: phase breakdown,
+        merged regions/counters and derived rates."""
+        from ..kernels.flops import count_flops_per_element_update
+
+        snapshots = self._telemetry_snapshots()
+        merged = merge_snapshots(snapshots)
+        concurrency = max(1, self._concurrent_lanes())
+        phases = {
+            name: entry["total_s"] / concurrency
+            for name, entry in merged["regions"].items()
+            if name in PHASE_REGIONS
+        }
+        phase_sum = float(sum(phases.values()))
+        recv_wait = sum(
+            entry["total_s"]
+            for name, entry in merged["regions"].items()
+            if name.endswith("/recv_wait")
+        )
+        updates = int(self.solver.n_element_updates)
+        flops = count_flops_per_element_update(self.setup.disc).total
+        block = {
+            "phases": phases,
+            "phase_sum_s": phase_sum,
+            "wall_s": float(self.wall_s),
+            "coverage": phase_sum / self.wall_s if self.wall_s > 0 else 0.0,
+            "recv_wait_s": float(recv_wait),
+            "regions": merged["regions"],
+            "counters": merged["counters"],
+            "histograms": merged["histograms"],
+            "lanes": [
+                {"lane": snap.get("lane"), "regions": snap.get("regions", {})}
+                for snap in snapshots
+            ],
+            "derived": {
+                "element_updates_per_s": (
+                    updates / self.wall_s if self.wall_s > 0 else 0.0
+                ),
+                "flops_per_element_update": int(flops),
+                "gflop": updates * flops / 1e9,
+                "gflop_per_s": (
+                    updates * flops / 1e9 / self.wall_s if self.wall_s > 0 else 0.0
+                ),
+            },
+        }
+        return block
+
+    def write_trace(self, path):
+        """Export the collected trace events as Chrome-trace JSON.
+
+        Draining is destructive: the trace is written once, after the run.
+        """
+        return write_chrome_trace(path, self._trace_lanes())
 
     def accuracy(self) -> dict | None:
         """Error norms against the scenario's analytic solution, if any.
@@ -487,9 +618,13 @@ class ScenarioRunner:
         # write-then-rename keeps the previous checkpoint intact if the run
         # is killed mid-write
         tmp_path = f"{path}.tmp"
-        with open(tmp_path, "wb") as handle:
-            np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
-        os.replace(tmp_path, path)
+        with self.telemetry.region("checkpoint.write"):
+            with open(tmp_path, "wb") as handle:
+                np.savez_compressed(handle, meta=json.dumps(meta), **arrays)
+            os.replace(tmp_path, path)
+        if self.telemetry.enabled:
+            self.telemetry.inc("checkpoint/writes")
+            self.telemetry.inc("checkpoint/bytes", os.path.getsize(path))
 
     def _solver_state_arrays(self) -> dict:
         """The solver-kind-specific dynamic arrays of the checkpoint.
@@ -512,7 +647,13 @@ class ScenarioRunner:
 
     @classmethod
     def resume(
-        cls, path, *, backend: str | None = None, kernels: str | None = None
+        cls,
+        path,
+        *,
+        backend: str | None = None,
+        kernels: str | None = None,
+        telemetry: bool | None = None,
+        trace: bool | None = None,
     ) -> "ScenarioRunner":
         """Rebuild a runner from a checkpoint; continuation is bit-identical
         to the uninterrupted run.
@@ -557,6 +698,10 @@ class ScenarioRunner:
                         "without --kernels to continue in fast mode)"
                     )
                 spec = spec.with_overrides(kernels=kernels)
+            if telemetry is not None or trace is not None:
+                # observability is orthogonal to the numerical state, so the
+                # resumed segment can be instrumented (or not) freely
+                spec = spec.with_overrides(telemetry=telemetry, trace=trace)
             runner_cls = runner_class_for(spec)
             restored = Clustering(
                 cluster_ids=data["cluster_ids"].copy(),

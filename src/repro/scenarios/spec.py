@@ -40,6 +40,7 @@ __all__ = [
     "SolverSpec",
     "PreprocessingSpec",
     "RunSpec",
+    "OutputSpec",
     "ScenarioSpec",
     "SOLVER_KINDS",
     "SOLVER_BACKENDS",
@@ -430,6 +431,28 @@ class RunSpec:
 
 
 @dataclass(frozen=True)
+class OutputSpec:
+    """Observability knobs of a run.
+
+    ``telemetry`` turns on the phase timers and the metrics registry (the
+    run summary gains a ``telemetry`` block); ``trace`` additionally records
+    per-region events for the Chrome-trace export and implies ``telemetry``.
+    Both default off, so unconfigured runs keep the no-op fast path.
+    """
+
+    telemetry: bool = False
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.trace and not self.telemetry:
+            object.__setattr__(self, "telemetry", True)
+
+    @property
+    def active(self) -> bool:
+        return self.telemetry or self.trace
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """A complete, validated description of one runnable scenario."""
 
@@ -447,6 +470,7 @@ class ScenarioSpec:
     solver: SolverSpec = SolverSpec()
     preprocessing: PreprocessingSpec = PreprocessingSpec()
     run: RunSpec = RunSpec()
+    output: OutputSpec = OutputSpec()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -495,6 +519,8 @@ class ScenarioSpec:
         data["solver"] = SolverSpec(**data["solver"])
         data["preprocessing"] = PreprocessingSpec(**data.get("preprocessing", {}))
         data["run"] = RunSpec(**data["run"])
+        # absent in specs serialised before the observability subsystem
+        data["output"] = OutputSpec(**data.get("output", {}))
         return cls(**data)
 
     @classmethod
@@ -521,6 +547,8 @@ class ScenarioSpec:
         n_partitions: int | None = None,
         reorder: bool | None = None,
         seed: int | None = None,
+        telemetry: bool | None = None,
+        trace: bool | None = None,
     ) -> "ScenarioSpec":
         """A copy of this spec with common knobs changed (CLI flags)."""
         spec = self
@@ -570,6 +598,13 @@ class ScenarioSpec:
             spec = replace(spec, preprocessing=replace(spec.preprocessing, **pre_updates))
         if seed is not None:
             spec = replace(spec, mesh=replace(spec.mesh, seed=seed))
+        output_updates = {}
+        if telemetry is not None:
+            output_updates["telemetry"] = telemetry
+        if trace is not None:
+            output_updates["trace"] = trace
+        if output_updates:
+            spec = replace(spec, output=replace(spec.output, **output_updates))
         return spec
 
     def smoke(self) -> "ScenarioSpec":

@@ -93,6 +93,36 @@ class TestLayeredBoxMesh:
         assert mesh.insphere_radii[layer].mean() < mesh.insphere_radii[~layer].mean()
 
 
+class TestUniformAxisSnap:
+    def test_non_dividing_edge_length_has_no_sliver(self):
+        # 333.3 does not divide 2000: the old arange-plus-endpoint axis left a
+        # ~0.2 m sliver cell that dominated the CFL step of the whole mesh
+        mesh = layered_box_mesh(
+            extent=(0, 2000, 0, 2000, -2000, 0),
+            edge_length_of_depth=lambda z: 500.0,
+            horizontal_edge_length=333.3,
+        )
+        x = np.unique(mesh.vertices[:, 0])
+        widths = np.diff(x)
+        assert x[0] == 0.0 and x[-1] == 2000.0
+        np.testing.assert_allclose(widths, widths[0], rtol=1e-12)
+        # the snapped spacing stays within half a cell of the request
+        assert widths.min() > 0.5 * 333.3
+        # and the time-step spread is bounded by the grading, not a sliver
+        radii = mesh.insphere_radii
+        assert radii.min() > 0.05 * radii.max()
+
+    def test_dividing_edge_length_reproduces_arange_grid(self):
+        mesh = layered_box_mesh(
+            extent=(0, 2000, 0, 2000, -1000, 0),
+            edge_length_of_depth=lambda z: 500.0,
+            horizontal_edge_length=500.0,
+        )
+        x = np.unique(mesh.vertices[:, 0])
+        old = np.arange(0.0, 2000.0 + 250.0, 500.0)
+        np.testing.assert_array_equal(x, old)
+
+
 class TestRefinementRules:
     def test_elements_per_wavelength_rule(self):
         rule = elements_per_wavelength_rule(2000.0, max_frequency=2.0, elements_per_wavelength=2.0, order=5)

@@ -1,0 +1,89 @@
+"""Unit tests for the metrics registry and cross-rank merging."""
+
+import pytest
+
+from repro.observability import Histogram, MetricsRegistry, merge_metrics
+
+
+class TestHistogram:
+    def test_empty_histogram_is_all_zero(self):
+        assert Histogram().as_dict() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_observe_tracks_moments(self):
+        h = Histogram()
+        for value in (1.0, 3.0, 2.0):
+            h.observe(value)
+        snap = h.as_dict()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(6.0)
+        assert snap["min"] == 1.0 and snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("updates")
+        registry.inc("updates", 9)
+        registry.inc("bytes", 1024)
+        snap = registry.as_dict()
+        assert snap["counters"] == {"updates": 10, "bytes": 1024}
+        # integer counters stay exact integers through the snapshot
+        assert isinstance(snap["counters"]["updates"], int)
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth", 3)
+        registry.gauge("queue_depth", 1)
+        assert registry.as_dict()["gauges"] == {"queue_depth": 1.0}
+
+    def test_histograms_created_on_first_observe(self):
+        registry = MetricsRegistry()
+        registry.observe("latency", 0.25)
+        registry.observe("latency", 0.75)
+        snap = registry.as_dict()["histograms"]["latency"]
+        assert snap["count"] == 2 and snap["mean"] == pytest.approx(0.5)
+
+
+class TestMergeMetrics:
+    def test_counters_sum_across_ranks(self):
+        ranks = []
+        for updates in (10, 20, 30):
+            registry = MetricsRegistry()
+            registry.inc("updates", updates)
+            ranks.append(registry.as_dict())
+        merged = merge_metrics(ranks)
+        assert merged["counters"]["updates"] == 60
+
+    def test_gauges_keep_maximum(self):
+        snapshots = []
+        for peak in (5.0, 9.0, 2.0):
+            registry = MetricsRegistry()
+            registry.gauge("peak_mb", peak)
+            snapshots.append(registry.as_dict())
+        assert merge_metrics(snapshots)["gauges"]["peak_mb"] == 9.0
+
+    def test_histograms_merge_moments(self):
+        a = MetricsRegistry()
+        a.observe("wait", 1.0)
+        a.observe("wait", 3.0)
+        b = MetricsRegistry()
+        b.observe("wait", 5.0)
+        merged = merge_metrics([a.as_dict(), b.as_dict()])["histograms"]["wait"]
+        assert merged["count"] == 3
+        assert merged["sum"] == pytest.approx(9.0)
+        assert merged["min"] == 1.0 and merged["max"] == 5.0
+        assert merged["mean"] == pytest.approx(3.0)
+
+    def test_disjoint_names_union(self):
+        a = MetricsRegistry()
+        a.inc("only_a", 1)
+        b = MetricsRegistry()
+        b.inc("only_b", 2)
+        merged = merge_metrics([a.as_dict(), b.as_dict()])
+        assert merged["counters"] == {"only_a": 1, "only_b": 2}
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_metrics([]) == {"counters": {}, "gauges": {}, "histograms": {}}

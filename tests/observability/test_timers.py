@@ -1,0 +1,138 @@
+"""Unit tests for the hierarchical region timers."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.observability import NULL_TELEMETRY, Telemetry, TelemetryConfig, merge_snapshots
+from repro.observability.timers import _NULL_REGION
+
+
+class TestRegionTimers:
+    def test_single_region_aggregates_count_and_total(self):
+        telemetry = Telemetry()
+        for _ in range(3):
+            with telemetry.region("predict"):
+                pass
+        regions = telemetry.regions()
+        assert regions["predict"]["count"] == 3
+        assert regions["predict"]["total_s"] >= 0.0
+
+    def test_nesting_joins_paths_with_slash(self):
+        telemetry = Telemetry()
+        with telemetry.region("correct"):
+            with telemetry.region("recv_wait"):
+                pass
+            with telemetry.region("recv_wait"):
+                pass
+        regions = telemetry.regions()
+        assert set(regions) == {"correct", "correct/recv_wait"}
+        assert regions["correct/recv_wait"]["count"] == 2
+        assert regions["correct"]["count"] == 1
+        # the parent region covers its children
+        assert regions["correct"]["total_s"] >= regions["correct/recv_wait"]["total_s"]
+
+    def test_nesting_unwinds_on_exception(self):
+        telemetry = Telemetry()
+        with pytest.raises(RuntimeError):
+            with telemetry.region("outer"):
+                with telemetry.region("inner"):
+                    raise RuntimeError("boom")
+        # the stack unwound: a fresh region is top-level again
+        with telemetry.region("after"):
+            pass
+        assert "after" in telemetry.regions()
+        assert "outer/after" not in telemetry.regions()
+
+    def test_region_measures_elapsed_time(self):
+        telemetry = Telemetry()
+        with telemetry.region("sleep"):
+            time.sleep(0.01)
+        assert telemetry.regions()["sleep"]["total_s"] >= 0.009
+
+    def test_disabled_lane_returns_shared_null_region(self):
+        telemetry = Telemetry(enabled=False)
+        assert telemetry.region("predict") is _NULL_REGION
+        assert telemetry.region("other") is _NULL_REGION
+        with telemetry.region("predict"):
+            pass
+        assert telemetry.regions() == {}
+        assert telemetry.snapshot()["counters"] == {}
+
+    def test_null_telemetry_is_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+        NULL_TELEMETRY.inc("updates", 5)
+        assert NULL_TELEMETRY.metrics.counters == {}
+
+    def test_guarded_metric_shorthands(self):
+        telemetry = Telemetry()
+        telemetry.inc("updates", 4)
+        telemetry.inc("updates")
+        telemetry.gauge("clusters", 3)
+        telemetry.observe("latency", 0.5)
+        snap = telemetry.snapshot()
+        assert snap["counters"]["updates"] == 5
+        assert snap["gauges"]["clusters"] == 3.0
+        assert snap["histograms"]["latency"]["count"] == 1
+
+
+class TestTraceEvents:
+    def test_events_recorded_only_when_tracing(self):
+        plain = Telemetry(enabled=True, trace=False)
+        with plain.region("predict"):
+            pass
+        assert plain.drain_events() == []
+
+        tracing = Telemetry(enabled=True, trace=True)
+        with tracing.region("predict"):
+            pass
+        events = tracing.drain_events()
+        assert len(events) == 1
+        path, start_us, dur_us = events[0]
+        assert path == "predict"
+        assert start_us >= 0.0 and dur_us >= 0.0
+        # draining is destructive
+        assert tracing.drain_events() == []
+
+    def test_shared_epoch_aligns_lanes(self):
+        epoch = time.perf_counter()
+        config = TelemetryConfig(enabled=True, trace=True)
+        lane0 = config.build(rank=0, epoch=epoch)
+        lane1 = config.build(rank=1, epoch=epoch)
+        with lane0.region("a"):
+            pass
+        with lane1.region("b"):
+            pass
+        (_, start0, _), = lane0.drain_events()
+        (_, start1, _), = lane1.drain_events()
+        assert start1 >= start0 >= 0.0
+
+
+class TestConfigAndMerge:
+    def test_config_is_picklable_and_builds_lanes(self):
+        config = pickle.loads(pickle.dumps(TelemetryConfig(enabled=True, trace=True)))
+        lane = config.build(rank=2)
+        assert lane.enabled and lane.trace_enabled
+        assert lane.rank == 2 and lane.lane == "rank 2"
+
+    def test_disabled_config_builds_disabled_lane(self):
+        lane = TelemetryConfig().build(rank=0)
+        assert not lane.enabled and not lane.trace_enabled
+
+    def test_merge_snapshots_sums_regions_and_counters(self):
+        lanes = [Telemetry(rank=r) for r in range(3)]
+        for lane in lanes:
+            with lane.region("predict"):
+                pass
+            lane.inc("updates", 10)
+        merged = merge_snapshots([lane.snapshot() for lane in lanes])
+        assert merged["regions"]["predict"]["count"] == 3
+        assert merged["counters"]["updates"] == 30
+
+    def test_merge_skips_empty_snapshots(self):
+        lane = Telemetry()
+        lane.inc("updates", 2)
+        merged = merge_snapshots([{}, lane.snapshot(), {}])
+        assert merged["counters"]["updates"] == 2
+        assert merged["regions"] == {}

@@ -1,0 +1,90 @@
+"""Unit tests for the Chrome-trace exporter and its validator."""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Telemetry,
+    build_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _lanes():
+    lanes = []
+    for rank in range(2):
+        lane = Telemetry(enabled=True, trace=True, rank=rank, epoch=0.0)
+        with lane.region("predict"):
+            pass
+        with lane.region("correct"):
+            with lane.region("recv_wait"):
+                pass
+        lanes.append((lane.lane, lane.rank, lane.drain_events()))
+    return lanes
+
+
+class TestBuildChromeTrace:
+    def test_payload_shape(self):
+        payload = build_chrome_trace(_lanes())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {m["args"]["name"] for m in metadata} == {"rank 0", "rank 1"}
+        assert len(slices) == 2 * 3  # predict, correct, correct/recv_wait per rank
+
+    def test_slices_show_leaf_name_and_keep_full_path(self):
+        payload = build_chrome_trace(_lanes())
+        nested = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["args"]["path"] == "correct/recv_wait"
+        ]
+        assert nested and all(e["name"] == "recv_wait" for e in nested)
+        assert all(e["cat"] == "correct" for e in nested)
+
+    def test_dotted_region_category_is_first_segment(self):
+        lane = Telemetry(enabled=True, trace=True, epoch=0.0)
+        with lane.region("kernel.ck"):
+            pass
+        payload = build_chrome_trace([(lane.lane, 0, lane.drain_events())])
+        (event,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert event["name"] == "kernel.ck" and event["cat"] == "kernel"
+
+    def test_write_is_valid_json_on_disk(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "traces" / "run.json", _lanes())
+        payload = json.loads(path.read_text())
+        by_lane = validate_chrome_trace(payload, expect_lanes=2)
+        assert by_lane == {"rank 0": 3, "rank 1": 3}
+
+
+class TestValidateChromeTrace:
+    def test_accepts_well_formed(self):
+        assert validate_chrome_trace(build_chrome_trace(_lanes()))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="missing or empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_negative_duration(self):
+        payload = build_chrome_trace(_lanes())
+        next(e for e in payload["traceEvents"] if e["ph"] == "X")["dur"] = -1.0
+        with pytest.raises(ValueError, match="negative dur"):
+            validate_chrome_trace(payload)
+
+    def test_rejects_non_numeric_timestamp(self):
+        payload = build_chrome_trace(_lanes())
+        next(e for e in payload["traceEvents"] if e["ph"] == "X")["ts"] = "soon"
+        with pytest.raises(ValueError, match="non-numeric ts"):
+            validate_chrome_trace(payload)
+
+    def test_rejects_unnamed_lane(self):
+        payload = build_chrome_trace(_lanes())
+        payload["traceEvents"] = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        with pytest.raises(ValueError, match="without thread_name"):
+            validate_chrome_trace(payload)
+
+    def test_rejects_too_few_lanes(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            validate_chrome_trace(build_chrome_trace(_lanes()), expect_lanes=4)
