@@ -11,8 +11,11 @@ observability tax across PRs.
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import tempfile
+from contextlib import redirect_stderr
 from pathlib import Path
 
 from repro.scenarios import ScenarioRunner, get_scenario
@@ -52,10 +55,39 @@ def _best_wall(spec, repeats: int = 3) -> dict:
     return best
 
 
+def _best_ledger_wall(repeats: int = 3) -> dict:
+    """The fully instrumented path: telemetry + JSONL ledger + heartbeat."""
+    best = None
+    for _ in range(repeats):
+        with tempfile.TemporaryDirectory() as tmp:
+            spec = _spec(events=str(Path(tmp) / "events.jsonl"), progress=True)
+            with redirect_stderr(io.StringIO()):  # heartbeat lines stay out of logs
+                summary = ScenarioRunner(spec).run()
+        if best is None or summary["wall_s"] < best["wall_s"]:
+            best = summary
+    return best
+
+
+COMMITTED_POINT = (
+    Path(__file__).parent / "results" / "BENCH_observability_overhead_loh3.json"
+)
+
+#: the fully instrumented path (ledger + heartbeat) adds one JSON line +
+#: flush + one stderr line per macro cycle; allow it that much on top of
+#: the committed disabled-path wall (plus the usual jitter allowance)
+LEDGER_BUDGET = 0.30
+
+
 def test_disabled_telemetry_overhead():
+    # read the committed point *before* record_bench regenerates it
+    committed_wall = None
+    if COMMITTED_POINT.exists():
+        committed_wall = json.loads(COMMITTED_POINT.read_text())["wall_s"]
+
     disabled = _best_wall(_spec())
     enabled = _best_wall(_spec(telemetry=True))
     traced = _best_wall(_spec(trace=True))
+    ledgered = _best_ledger_wall()
 
     baseline_wall = None
     if BASELINE_POINT.exists():
@@ -70,6 +102,7 @@ def test_disabled_telemetry_overhead():
             "disabled_wall_s": disabled["wall_s"],
             "enabled_wall_s": enabled["wall_s"],
             "trace_wall_s": traced["wall_s"],
+            "ledger_wall_s": ledgered["wall_s"],
             "baseline_fast_f64_wall_s": baseline_wall,
             "overhead_vs_baseline": overhead_vs_baseline,
         },
@@ -83,8 +116,10 @@ def test_disabled_telemetry_overhead():
         cycles=disabled["cycles"],
         enabled_wall_s=enabled["wall_s"],
         trace_wall_s=traced["wall_s"],
+        ledger_wall_s=ledgered["wall_s"],
         enabled_overhead=enabled["wall_s"] / disabled["wall_s"] - 1.0,
         trace_overhead=traced["wall_s"] / disabled["wall_s"] - 1.0,
+        ledger_overhead=ledgered["wall_s"] / disabled["wall_s"] - 1.0,
     )
 
     # the enabled run's phase accounting must cover its own wall clock
@@ -99,4 +134,11 @@ def test_disabled_telemetry_overhead():
         assert overhead_vs_baseline <= OVERHEAD_BUDGET + 0.03, (
             f"disabled-telemetry wall {disabled['wall_s']:.4f}s exceeds the "
             f"baseline {baseline_wall:.4f}s by {overhead_vs_baseline:.1%}"
+        )
+    if not os.environ.get("CI") and committed_wall is not None:
+        ledger_vs_committed = ledgered["wall_s"] / committed_wall - 1.0
+        assert ledger_vs_committed <= LEDGER_BUDGET, (
+            f"ledger+heartbeat wall {ledgered['wall_s']:.4f}s exceeds the "
+            f"committed disabled-path point {committed_wall:.4f}s by "
+            f"{ledger_vs_committed:.1%}"
         )

@@ -33,7 +33,25 @@ from ..source.receivers import Receiver, ReceiverSet
 from .stepper import RankSolver
 from .subdomain import RankSubdomain
 
-__all__ = ["DistributedLtsEngine", "remap_local_sources", "modelled_exchange_per_cycle"]
+__all__ = [
+    "DistributedLtsEngine",
+    "remap_local_sources",
+    "modelled_exchange_per_cycle",
+    "per_rank_sent_bytes",
+]
+
+
+def per_rank_sent_bytes(per_pair: dict, n_ranks: int) -> list[int]:
+    """Bytes sent by each rank, folded from the ``"src->dst"`` pair stats.
+
+    The per-rank column of the run ledger's traffic record: an imbalanced
+    halo shows up here before it shows up as exposed receive-wait time.
+    """
+    sent = [0] * n_ranks
+    for pair, entry in per_pair.items():
+        src = int(pair.split("->", 1)[0])
+        sent[src] += int(entry["bytes"])
+    return sent
 
 
 def remap_local_sources(

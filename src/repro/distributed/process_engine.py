@@ -42,7 +42,7 @@ from ..core.clustering import Clustering
 from ..core.lts_scheduler import schedule_cycle
 from ..kernels.backend import make_backend
 from ..kernels.discretization import Discretization
-from ..observability import TelemetryConfig, merge_snapshots
+from ..observability import TelemetryConfig, merge_snapshots, peak_rss_mb
 from ..parallel.communicator import MessageStats
 from ..parallel.exchange import HaloIndex
 from ..parallel.process_comm import ProcessCommunicator
@@ -128,6 +128,10 @@ def _rank_worker(
                     "n_element_updates": int(solver.n_element_updates),
                     "stats": comm.stats.as_dict(),
                     "records": _new_records(receivers, reported),
+                    # RUSAGE_CHILDREN only counts *terminated* children, so a
+                    # live worker must report its own peak RSS for the run
+                    # ledger's per-cycle memory column
+                    "peak_rss_mb": peak_rss_mb(),
                 }
                 if lane.enabled:
                     # cumulative metric snapshot plus the trace-event
@@ -264,6 +268,8 @@ class ProcessLtsEngine:
         self._n_element_updates = 0
         self._rank_stats = [MessageStats().as_dict() for _ in range(self.n_ranks)]
         self._stats_base = MessageStats()
+        #: per-rank worker peak RSS (MiB), max over worker generations
+        self._rank_peak_rss = [0.0] * self.n_ranks
         self.telemetry_config = telemetry if telemetry is not None else TelemetryConfig()
         #: one shared trace epoch for every worker generation, so lanes of a
         #: respawned engine continue on the same timeline
@@ -550,6 +556,10 @@ class ProcessLtsEngine:
         self._time = float(replies[0]["time"])
         self._n_element_updates = sum(r["n_element_updates"] for r in replies)
         self._rank_stats = [r["stats"] for r in replies]
+        self._rank_peak_rss = [
+            max(prev, float(reply.get("peak_rss_mb", 0.0)))
+            for prev, reply in zip(self._rank_peak_rss, replies)
+        ]
         self._merge_records([r["records"] for r in replies])
         if self.telemetry_config.enabled:
             self._rank_telemetry = [r.get("telemetry", {}) for r in replies]
@@ -645,6 +655,11 @@ class ProcessLtsEngine:
         for stats in self._rank_stats:
             total.merge(stats)
         return total
+
+    @property
+    def rank_peak_rss_mb(self) -> list[float]:
+        """Per-rank worker peak RSS in MiB (zeros before the first cycle)."""
+        return list(self._rank_peak_rss)
 
     def telemetry_snapshots(self) -> list[dict]:
         """Cumulative per-rank telemetry, current workers plus prior spawns."""

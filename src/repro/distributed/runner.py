@@ -27,7 +27,7 @@ import numpy as np
 from ..kernels.discretization import Discretization
 from ..parallel.partition import element_weights, partition_dual_graph
 from ..scenarios.runner import ScenarioRunner
-from .engine import DistributedLtsEngine
+from .engine import DistributedLtsEngine, per_rank_sent_bytes
 from .process_engine import ProcessLtsEngine
 
 __all__ = ["DistributedRunner"]
@@ -131,7 +131,31 @@ class DistributedRunner(ScenarioRunner):
             "measured_messages_per_cycle": stats.n_messages / cycles if cycles else 0.0,
             "model": model,
         }
+        workers = getattr(self.engine, "rank_peak_rss_mb", None)
+        if workers and any(workers):
+            # the parent's RUSAGE_CHILDREN misses still-live workers, so the
+            # summary carries the workers' self-reported peaks
+            out["memory"]["worker_peak_rss_mb"] = list(workers)
         return out
+
+    def _cycle_record(self, cycle_wall_s: float) -> dict:
+        record = super()._cycle_record(cycle_wall_s)
+        stats = self.engine.stats
+        n_bytes = int(stats.n_bytes)
+        record["comm_messages"] = int(stats.n_messages)
+        record["comm_bytes"] = n_bytes
+        record["cycle_comm_bytes"] = n_bytes - getattr(
+            self, "_ledger_prev_comm_bytes", 0
+        )
+        self._ledger_prev_comm_bytes = n_bytes
+        record["sent_bytes_per_rank"] = per_rank_sent_bytes(
+            stats.per_pair, self.engine.n_ranks
+        )
+        workers = getattr(self.engine, "rank_peak_rss_mb", None)
+        if workers and any(workers):
+            record["worker_peak_rss_mb"] = list(workers)
+            record["peak_rss_mb"] = max([record["peak_rss_mb"], *workers])
+        return record
 
     # -- telemetry ------------------------------------------------------
     def _telemetry_snapshots(self) -> list[dict]:

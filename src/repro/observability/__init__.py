@@ -9,6 +9,18 @@ Disabled by default with a near-zero no-op path; enabled per run via
 the CLI.
 """
 
+from .analysis import analyze_run, build_report, load_run, render_report
+from .events import (
+    Heartbeat,
+    RunLedger,
+    git_revision,
+    host_block,
+    peak_rss_mb,
+    provenance_block,
+    read_ledger,
+    spec_content_hash,
+    validate_run_ledger,
+)
 from .metrics import Histogram, MetricsRegistry, merge_metrics
 from .timers import NULL_TELEMETRY, Telemetry, TelemetryConfig, merge_snapshots
 from .trace import build_chrome_trace, validate_chrome_trace, write_chrome_trace
@@ -24,4 +36,17 @@ __all__ = [
     "build_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "Heartbeat",
+    "RunLedger",
+    "git_revision",
+    "host_block",
+    "peak_rss_mb",
+    "provenance_block",
+    "read_ledger",
+    "spec_content_hash",
+    "validate_run_ledger",
+    "analyze_run",
+    "build_report",
+    "load_run",
+    "render_report",
 ]

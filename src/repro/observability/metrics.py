@@ -107,11 +107,14 @@ def merge_metrics(snapshots: list[dict]) -> dict:
                 continue
             count = mine["count"] + h["count"]
             total = mine["sum"] + h["sum"]
+            # only snapshots that observed anything contribute to min/max --
+            # an empty histogram's 0.0 placeholders must not clamp the range
+            seen = [x for x in (mine, h) if x["count"] > 0]
             mine.update(
                 count=count,
                 sum=total,
-                min=min(mine["min"], h["min"]) if count else 0.0,
-                max=max(mine["max"], h["max"]) if count else 0.0,
+                min=min(x["min"] for x in seen) if seen else 0.0,
+                max=max(x["max"] for x in seen) if seen else 0.0,
                 mean=total / count if count else 0.0,
             )
     return {"counters": counters, "gauges": gauges, "histograms": histograms}

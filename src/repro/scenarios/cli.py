@@ -10,8 +10,11 @@
     python -m repro run loh3 --smoke --ranks 2
     python -m repro run loh3 --smoke --ranks 2 --backend process
     python -m repro run loh3 --checkpoint run.ckpt.npz --checkpoint-every 1
+    python -m repro run loh3 --metrics --events out/run.jsonl --progress
     python -m repro resume run.ckpt.npz
     python -m repro resume run.ckpt.npz --backend process --checkpoint-every 2
+    python -m repro report out/ gts_out/
+    python -m repro report ref_out/ opt_out/ fast_out/ --json
     python -m repro verify --kernels fast
     python -m repro verify loh3 --kernels fast --ranks 2 --backend process
     python -m repro verify plane_wave --kernels fast
@@ -115,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write a Chrome-trace JSON timeline (one lane per "
                           "rank) to PATH; open in Perfetto or chrome://tracing; "
                           "implies --metrics")
+    run.add_argument("--events", metavar="PATH",
+                     help="append a JSONL run ledger to PATH: a provenance "
+                          "header plus one flushed record per macro cycle "
+                          "(sim time, wall, updates/s, per-rank recv-wait, "
+                          "comm bytes, peak RSS) -- a killed run leaves a "
+                          "readable partial ledger; implies --metrics")
+    run.add_argument("--progress", action="store_true",
+                     help="live progress heartbeat on stderr "
+                          "(cycle counter, updates/s, ETA)")
     run.add_argument("--output-dir", metavar="DIR",
                      help="write seismogram CSVs and run_summary.json here")
     run.add_argument("--quiet", action="store_true", help="suppress the summary printout")
@@ -164,8 +176,30 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--trace", metavar="PATH",
                         help="write a Chrome-trace timeline of the resumed "
                              "segment to PATH; implies --metrics")
+    resume.add_argument("--events", metavar="PATH",
+                        help="append the resumed segment's ledger records to "
+                             "PATH (a new segment header marks the resume); "
+                             "implies --metrics")
+    resume.add_argument("--progress", action="store_true",
+                        help="live progress heartbeat on stderr")
     resume.add_argument("--output-dir", metavar="DIR")
     resume.add_argument("--quiet", action="store_true")
+
+    report = sub.add_parser(
+        "report",
+        help="derived analytics over finished runs: overlap efficiency, "
+             "load imbalance, measured-vs-theoretical LTS speedup, kernel "
+             "GFLOP/s, multi-run comparison",
+    )
+    report.add_argument("runs", nargs="+", metavar="RUN",
+                        help="run artefacts to analyse: an --output-dir "
+                             "directory, a run_summary.json, or an --events "
+                             "JSONL ledger; pass several runs (e.g. ref/opt/"
+                             "fast, or an LTS run plus a GTS reference of the "
+                             "same scenario) for the comparison table")
+    report.add_argument("--json", action="store_true",
+                        help="emit the full report payload as JSON instead "
+                             "of the text rendering")
 
     return parser
 
@@ -219,8 +253,10 @@ def _resolve_spec(args) -> ScenarioSpec:
         n_partitions=args.partitions,
         reorder=True if (args.reorder or args.partitions) else None,
         seed=args.seed,
-        telemetry=True if (args.metrics or args.trace) else None,
+        telemetry=True if (args.metrics or args.trace or args.events) else None,
         trace=True if args.trace else None,
+        events=args.events,
+        progress=True if args.progress else None,
     )
     if args.smoke:
         spec = spec.smoke()
@@ -333,8 +369,10 @@ def _cmd_resume(args) -> int:
             args.checkpoint,
             backend=args.backend,
             kernels=args.kernels,
-            telemetry=True if (args.metrics or args.trace) else None,
+            telemetry=True if (args.metrics or args.trace or args.events) else None,
             trace=True if args.trace else None,
+            events=args.events,
+            progress=True if args.progress else None,
         )
     except (KeyError, ValueError, TypeError, OSError) as error:
         return _input_error(error)
@@ -349,6 +387,20 @@ def _cmd_resume(args) -> int:
         checkpoint_every=args.checkpoint_every,
     )
     return _finish(runner, summary, args.output_dir, args.quiet, trace_path=args.trace)
+
+
+def _cmd_report(args) -> int:
+    from ..observability import build_report, render_report
+
+    try:
+        report = build_report(args.runs)
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        return _input_error(error)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report), end="")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -366,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_verify(args)
     if args.command == "resume":
         return _cmd_resume(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise SystemExit(2)
 
 

@@ -90,4 +90,20 @@ def write_outputs(runner, directory, summary: dict | None = None) -> dict:
     written = {"run_summary": write_run_summary(directory / "run_summary.json", summary)}
     if runner.receivers is not None:
         written["seismograms"] = write_seismograms(runner.receivers, directory)
+    if summary.get("telemetry"):
+        # instrumented runs also get their derived analytics precomputed
+        # (the same payload `repro report <directory>` would produce)
+        from ..observability import analyze_run
+
+        report_path = directory / "report.json"
+        report = analyze_run(
+            {
+                "label": directory.name or str(directory),
+                "path": str(directory),
+                "summary": _jsonable(summary),
+                "ledger": None,
+            }
+        )
+        report_path.write_text(json.dumps(report, indent=2) + "\n")
+        written["report"] = report_path
     return written

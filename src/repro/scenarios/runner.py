@@ -32,7 +32,14 @@ from ..kernels.discretization import Discretization
 from ..mesh.generation import layered_box_mesh
 from ..mesh.refinement import elements_per_wavelength_rule
 from ..mesh.tet_mesh import TetMesh
-from ..observability import TelemetryConfig, merge_snapshots, write_chrome_trace
+from ..observability import (
+    Heartbeat,
+    RunLedger,
+    TelemetryConfig,
+    merge_snapshots,
+    provenance_block,
+    write_chrome_trace,
+)
 from ..preprocessing.velocity_model import LaHabraBasinModel, Layer, LayeredVelocityModel, loh3_model
 from ..source.receivers import ReceiverSet
 from .spec import ScenarioSpec
@@ -428,23 +435,107 @@ class ScenarioRunner:
         """
         if checkpoint_every is None:
             checkpoint_every = self.spec.run.checkpoint_every
+        output = self.spec.output
+        ledger = heartbeat = None
+        if output.events:
+            ledger = RunLedger(output.events)
+            ledger.header(
+                self.spec,
+                total_cycles=self.total_cycles,
+                macro_dt=self.macro_dt,
+                resumed_at_cycle=self.cycles_done,
+            )
+        if output.progress:
+            heartbeat = Heartbeat(self.spec.name, self.total_cycles)
+        self._ledger_prev_updates = int(self.solver.n_element_updates)
+        self._ledger_prev_recv_wait: dict = {}
         last_saved_at = None
-        while self.cycles_done < self.total_cycles:
-            # checkpoint I/O stays outside the timed region so wall_s and
-            # element_updates_per_s are comparable to uncheckpointed runs
-            start = _time.perf_counter()
-            self.step_cycle()
-            self.wall_s += _time.perf_counter() - start
-            if (
-                checkpoint_path is not None
-                and checkpoint_every
-                and self.cycles_done % checkpoint_every == 0
-            ):
+        try:
+            while self.cycles_done < self.total_cycles:
+                # checkpoint and ledger I/O stay outside the timed region so
+                # wall_s and element_updates_per_s are comparable to
+                # uninstrumented runs
+                start = _time.perf_counter()
+                self.step_cycle()
+                cycle_wall_s = _time.perf_counter() - start
+                self.wall_s += cycle_wall_s
+                if ledger is not None or heartbeat is not None:
+                    record = self._cycle_record(cycle_wall_s)
+                    if ledger is not None:
+                        ledger.cycle(record)
+                    if heartbeat is not None:
+                        heartbeat.emit(record)
+                if (
+                    checkpoint_path is not None
+                    and checkpoint_every
+                    and self.cycles_done % checkpoint_every == 0
+                ):
+                    self.save_checkpoint(checkpoint_path)
+                    last_saved_at = self.cycles_done
+            if checkpoint_path is not None and last_saved_at != self.cycles_done:
                 self.save_checkpoint(checkpoint_path)
-                last_saved_at = self.cycles_done
-        if checkpoint_path is not None and last_saved_at != self.cycles_done:
-            self.save_checkpoint(checkpoint_path)
+            if ledger is not None:
+                ledger.final(
+                    {
+                        "cycles": int(self.cycles_done),
+                        "t": float(self.solver.time),
+                        "wall_s": float(self.wall_s),
+                        "element_updates": int(self.solver.n_element_updates),
+                    }
+                )
+        finally:
+            if heartbeat is not None:
+                heartbeat.close()
+            if ledger is not None:
+                ledger.close()
         return self.summary()
+
+    # -- run ledger ------------------------------------------------------
+    def _recv_wait_by_lane(self) -> dict:
+        """Cumulative exposed receive-wait seconds per telemetry lane."""
+        if not self.telemetry_config.enabled:
+            return {}
+        waits = {}
+        for snap in self._telemetry_snapshots():
+            total = sum(
+                entry["total_s"]
+                for name, entry in snap.get("regions", {}).items()
+                if name.endswith("/recv_wait") or name == "recv_wait"
+            )
+            if total > 0.0:
+                waits[snap.get("lane")] = total
+        return waits
+
+    def _cycle_record(self, cycle_wall_s: float) -> dict:
+        """One ledger/heartbeat record of the cycle that just finished.
+
+        The distributed runner extends this with communication traffic and
+        worker memory; the recv-wait column is per cycle (deltas of the
+        cumulative region totals), like every other rate here.
+        """
+        updates = int(self.solver.n_element_updates)
+        cycle_updates = updates - self._ledger_prev_updates
+        self._ledger_prev_updates = updates
+        record = {
+            "cycle": int(self.cycles_done),
+            "t": float(self.solver.time),
+            "wall_s": float(self.wall_s),
+            "cycle_wall_s": float(cycle_wall_s),
+            "element_updates": updates,
+            "cycle_element_updates": cycle_updates,
+            "updates_per_s": (
+                cycle_updates / cycle_wall_s if cycle_wall_s > 0 else 0.0
+            ),
+            "peak_rss_mb": peak_memory()["peak_rss_mb"],
+        }
+        waits = self._recv_wait_by_lane()
+        if waits:
+            record["recv_wait_s"] = {
+                lane: total - self._ledger_prev_recv_wait.get(lane, 0.0)
+                for lane, total in waits.items()
+            }
+            self._ledger_prev_recv_wait = waits
+        return record
 
     def summary(self) -> dict:
         """Key figures of the run (JSON-ready)."""
@@ -473,6 +564,11 @@ class ScenarioRunner:
         }
         if self.preprocessed is not None:
             out["n_partitions"] = int(self.preprocessed.partitions.max() + 1)
+        # self-describing summaries: the sweep-manifest key set (git SHA,
+        # repro version, spec content hash), same block as the ledger header
+        out["provenance"] = provenance_block(spec)
+        if spec.output.events:
+            out["events"] = spec.output.events
         out["memory"] = peak_memory()
         if self.telemetry_config.enabled:
             out["telemetry"] = self.telemetry_block()
@@ -529,7 +625,8 @@ class ScenarioRunner:
             if name.endswith("/recv_wait")
         )
         updates = int(self.solver.n_element_updates)
-        flops = count_flops_per_element_update(self.setup.disc).total
+        per_stage = count_flops_per_element_update(self.setup.disc)
+        flops = per_stage.total
         block = {
             "phases": phases,
             "phase_sum_s": phase_sum,
@@ -540,7 +637,11 @@ class ScenarioRunner:
             "counters": merged["counters"],
             "histograms": merged["histograms"],
             "lanes": [
-                {"lane": snap.get("lane"), "regions": snap.get("regions", {})}
+                {
+                    "lane": snap.get("lane"),
+                    "regions": snap.get("regions", {}),
+                    "counters": snap.get("counters", {}),
+                }
                 for snap in snapshots
             ],
             "derived": {
@@ -548,6 +649,12 @@ class ScenarioRunner:
                     updates / self.wall_s if self.wall_s > 0 else 0.0
                 ),
                 "flops_per_element_update": int(flops),
+                "flops_per_stage": {
+                    "time_kernel": int(per_stage.time_kernel),
+                    "volume_kernel": int(per_stage.volume_kernel),
+                    "surface_local": int(per_stage.surface_local),
+                    "surface_neighbor": int(per_stage.surface_neighbor),
+                },
                 "gflop": updates * flops / 1e9,
                 "gflop_per_s": (
                     updates * flops / 1e9 / self.wall_s if self.wall_s > 0 else 0.0
@@ -654,6 +761,8 @@ class ScenarioRunner:
         kernels: str | None = None,
         telemetry: bool | None = None,
         trace: bool | None = None,
+        events: str | None = None,
+        progress: bool | None = None,
     ) -> "ScenarioRunner":
         """Rebuild a runner from a checkpoint; continuation is bit-identical
         to the uninterrupted run.
@@ -698,10 +807,16 @@ class ScenarioRunner:
                         "without --kernels to continue in fast mode)"
                     )
                 spec = spec.with_overrides(kernels=kernels)
-            if telemetry is not None or trace is not None:
+            if any(v is not None for v in (telemetry, trace, events, progress)):
                 # observability is orthogonal to the numerical state, so the
-                # resumed segment can be instrumented (or not) freely
-                spec = spec.with_overrides(telemetry=telemetry, trace=trace)
+                # resumed segment can be instrumented (or not) freely; a
+                # resumed --events ledger appends a new segment header
+                spec = spec.with_overrides(
+                    telemetry=telemetry,
+                    trace=trace,
+                    events=events,
+                    progress=progress,
+                )
             runner_cls = runner_class_for(spec)
             restored = Clustering(
                 cluster_ids=data["cluster_ids"].copy(),

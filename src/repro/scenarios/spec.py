@@ -437,15 +437,23 @@ class OutputSpec:
     ``telemetry`` turns on the phase timers and the metrics registry (the
     run summary gains a ``telemetry`` block); ``trace`` additionally records
     per-region events for the Chrome-trace export and implies ``telemetry``.
-    Both default off, so unconfigured runs keep the no-op fast path.
+    ``events`` names a JSONL run-ledger path (one flushed record per macro
+    cycle plus a provenance header); the per-rank recv-wait column needs the
+    phase timers, so it implies ``telemetry`` too.  ``progress`` turns on
+    the live stderr heartbeat (cycle counter, updates/s, ETA) and needs no
+    telemetry.  All default off, so unconfigured runs keep the no-op path.
     """
 
     telemetry: bool = False
     trace: bool = False
+    events: str | None = None
+    progress: bool = False
 
     def __post_init__(self) -> None:
-        if self.trace and not self.telemetry:
+        if (self.trace or self.events) and not self.telemetry:
             object.__setattr__(self, "telemetry", True)
+        if self.events is not None:
+            object.__setattr__(self, "events", str(self.events))
 
     @property
     def active(self) -> bool:
@@ -549,6 +557,8 @@ class ScenarioSpec:
         seed: int | None = None,
         telemetry: bool | None = None,
         trace: bool | None = None,
+        events: str | None = None,
+        progress: bool | None = None,
     ) -> "ScenarioSpec":
         """A copy of this spec with common knobs changed (CLI flags)."""
         spec = self
@@ -603,6 +613,10 @@ class ScenarioSpec:
             output_updates["telemetry"] = telemetry
         if trace is not None:
             output_updates["trace"] = trace
+        if events is not None:
+            output_updates["events"] = events
+        if progress is not None:
+            output_updates["progress"] = progress
         if output_updates:
             spec = replace(spec, output=replace(spec.output, **output_updates))
         return spec

@@ -87,3 +87,79 @@ class TestMergeMetrics:
 
     def test_merge_of_nothing_is_empty(self):
         assert merge_metrics([]) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestMergeEdgeCases:
+    """The snapshots the process backend actually ships: empty first mirrors
+    of a respawned worker, zero-count histogram placeholders, and repeated
+    merges of cumulative snapshots (``_telemetry_base`` chains)."""
+
+    def test_empty_snapshots_are_neutral(self):
+        full = MetricsRegistry()
+        full.inc("updates", 7)
+        full.observe("wait", 2.0)
+        merged = merge_metrics([{}, full.as_dict(), {}])
+        assert merged["counters"]["updates"] == 7
+        assert merged["histograms"]["wait"]["count"] == 1
+
+    def test_zero_count_histogram_does_not_clamp_range(self):
+        # Histogram().as_dict() carries 0.0 min/max placeholders; a merge with
+        # a real histogram must ignore them instead of widening min to 0.0
+        zero = {"histograms": {"wait": Histogram().as_dict()}}
+        full = MetricsRegistry()
+        full.observe("wait", 2.0)
+        full.observe("wait", 4.0)
+        for snapshots in ([zero, full.as_dict()], [full.as_dict(), zero]):
+            merged = merge_metrics(snapshots)["histograms"]["wait"]
+            assert merged["count"] == 2
+            assert merged["min"] == 2.0 and merged["max"] == 4.0
+            assert merged["mean"] == pytest.approx(3.0)
+
+    def test_all_zero_count_histograms_stay_placeholder(self):
+        zero = {"histograms": {"wait": Histogram().as_dict()}}
+        merged = merge_metrics([zero, zero])["histograms"]["wait"]
+        assert merged == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+    def test_negative_observations_survive_zero_count_merge(self):
+        # max(placeholder 0.0, real max) would also corrupt all-negative data
+        zero = {"histograms": {"delta": Histogram().as_dict()}}
+        full = MetricsRegistry()
+        full.observe("delta", -3.0)
+        merged = merge_metrics([zero, full.as_dict()])["histograms"]["delta"]
+        assert merged["min"] == -3.0 and merged["max"] == -3.0
+
+    def test_gauges_max_not_sum_across_respawn_mirrors(self):
+        # gauges are levels, not flows: merging a worker generation's mirror
+        # with the base must not double the value the way counters add up
+        registry = MetricsRegistry()
+        registry.gauge("peak_mb", 120.0)
+        registry.inc("updates", 5)
+        snap = registry.as_dict()
+        merged = merge_metrics([snap, snap])
+        assert merged["gauges"]["peak_mb"] == 120.0
+        assert merged["counters"]["updates"] == 10
+
+    def test_histogram_chain_merge_matches_single_registry(self):
+        # base <- gen1 <- gen2 chained pairwise (how _telemetry_base grows
+        # across process-worker respawns) must equal one flat registry
+        observations = ([1.0, 5.0], [2.0], [0.5, 3.5, 4.0])
+        generations = []
+        flat = MetricsRegistry()
+        for values in observations:
+            registry = MetricsRegistry()
+            for value in values:
+                registry.observe("wait", value)
+                flat.observe("wait", value)
+            generations.append(registry.as_dict())
+        base = {"histograms": {}}
+        for generation in generations:
+            base = {"histograms": merge_metrics([base, generation])["histograms"]}
+        chained = base["histograms"]["wait"]
+        expected = flat.as_dict()["histograms"]["wait"]
+        assert chained["count"] == expected["count"]
+        assert chained["sum"] == pytest.approx(expected["sum"])
+        assert chained["min"] == expected["min"]
+        assert chained["max"] == expected["max"]
+        assert chained["mean"] == pytest.approx(expected["mean"])

@@ -136,3 +136,32 @@ class TestConfigAndMerge:
         merged = merge_snapshots([{}, lane.snapshot(), {}])
         assert merged["counters"]["updates"] == 2
         assert merged["regions"] == {}
+
+    def test_merge_disjoint_lanes_unions_regions_and_counters(self):
+        # rank lanes touch disjoint region paths (e.g. only one rank waits);
+        # the merge must union them without cross-contamination
+        a = Telemetry(rank=0)
+        with a.region("predict"):
+            pass
+        a.inc("updates/cluster0", 4)
+        b = Telemetry(rank=1)
+        with b.region("correct"):
+            with b.region("recv_wait"):
+                pass
+        b.inc("updates/cluster1", 6)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged["regions"]) == {"predict", "correct", "correct/recv_wait"}
+        assert merged["regions"]["predict"]["count"] == 1
+        assert merged["counters"] == {"updates/cluster0": 4, "updates/cluster1": 6}
+
+    def test_merge_of_cumulative_mirror_with_empty_base_is_identity(self):
+        # the process backend merges _telemetry_base (initially {}) with each
+        # worker mirror every respawn; an empty base must be a no-op
+        lane = Telemetry()
+        with lane.region("predict"):
+            pass
+        lane.observe("cycle_s", 0.25)
+        snap = lane.snapshot()
+        merged = merge_snapshots([{}, snap])
+        assert merged["regions"] == snap["regions"]
+        assert merged["histograms"]["cycle_s"]["count"] == 1
