@@ -1,0 +1,101 @@
+"""Sweep service: what the content-addressed preprocessing cache buys.
+
+A 4-member shared-mesh ensemble (source-location axis on a small LOH.3
+box) is run through ``run_sweep`` twice: once cold (empty cache -- the
+parent prewarm pays mesh/operator/clustering assembly) and once against
+the already-warm cache directory.  The committed BENCH point carries the
+cold vs warm preprocessing walls and both end-to-end sweep walls, so the
+amortisation the sweep service is built around is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.preprocessing.cache import PreprocessingCache
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import build_setup
+from repro.sweep import SweepAxis, SweepSpec, read_manifest, run_sweep
+
+from conftest import record_bench, record_result
+
+LOCATIONS = [
+    [0.0, 0.0, -2000.0],
+    [1000.0, 0.0, -2000.0],
+    [0.0, 1000.0, -2000.0],
+    [500.0, 500.0, -1000.0],
+]
+
+
+def _sweep():
+    base = get_scenario(
+        "loh3",
+        extent_m=8000.0,
+        characteristic_length=1500.0,
+        order=3,
+        n_mechanisms=3,
+        jitter=0.2,
+        n_clusters=3,
+        lam=1.0,
+        n_cycles=2,
+    )
+    return SweepSpec(
+        base=base,
+        axes=[SweepAxis(path="source.location", values=LOCATIONS)],
+        name="bench-source-sweep",
+    )
+
+
+def test_sweep_cache_amortisation():
+    sweep = _sweep()
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        cache_dir = tmp / "cache"
+
+        cold_tally = run_sweep(
+            sweep, tmp / "cold", workers=0, cache_dir=cache_dir, events=False
+        )
+        assert cold_tally["done"] == 4 and cold_tally["failed"] == 0
+        assert cold_tally["prewarmed"] == 1  # one signature pays preprocessing
+        records = read_manifest(tmp / "cold" / "manifest.jsonl")
+        prewarm = next(r for r in records if r["record"] == "prewarm")
+        cold_preprocess_wall = prewarm["wall_s"]
+        member_rows = [r for r in records
+                       if r["record"] == "member" and r["status"] == "done"]
+        assert all(
+            counters["misses"] == 0
+            for row in member_rows for counters in row["cache"].values()
+        )
+
+        # warm preprocessing wall: one member's full setup straight from disk
+        warm_cache = PreprocessingCache(cache_dir)
+        start = time.perf_counter()
+        setup = build_setup(sweep.expand()[0].spec, cache=warm_cache)
+        warm_cache.clustering(sweep.expand()[0].spec, setup.clustering)
+        warm_preprocess_wall = time.perf_counter() - start
+        assert all(c["misses"] == 0 for c in warm_cache.stats.values())
+
+        warm_tally = run_sweep(
+            sweep, tmp / "warm", workers=0, cache_dir=cache_dir, events=False
+        )
+        assert warm_tally["done"] == 4 and warm_tally["prewarmed"] == 0
+
+    payload = {
+        "n_members": 4,
+        "n_elements": setup.mesh.n_elements,
+        "cold_preprocess_wall_s": cold_preprocess_wall,
+        "warm_preprocess_wall_s": warm_preprocess_wall,
+        "preprocess_speedup": cold_preprocess_wall / warm_preprocess_wall,
+        "cold_sweep_wall_s": cold_tally["wall_s"],
+        "warm_sweep_wall_s": warm_tally["wall_s"],
+    }
+    record_result("sweep_cache_amortisation", payload)
+    record_bench("sweep_cache_loh3", wall_s=cold_tally["wall_s"], **payload)
+
+    # wall-clock asserts stay off shared CI runners; locally the warm path
+    # must beat rebuilding -- that is the whole point of the cache
+    if not os.environ.get("CI"):
+        assert warm_preprocess_wall < cold_preprocess_wall, payload

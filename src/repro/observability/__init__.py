@@ -9,7 +9,13 @@ Disabled by default with a near-zero no-op path; enabled per run via
 the CLI.
 """
 
-from .analysis import analyze_run, build_report, load_run, render_report
+from .analysis import (
+    analyze_run,
+    build_report,
+    expand_report_paths,
+    load_run,
+    render_report,
+)
 from .events import (
     Heartbeat,
     RunLedger,
@@ -47,6 +53,7 @@ __all__ = [
     "validate_run_ledger",
     "analyze_run",
     "build_report",
+    "expand_report_paths",
     "load_run",
     "render_report",
 ]

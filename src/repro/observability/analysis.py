@@ -34,6 +34,7 @@ from pathlib import Path
 from .events import read_ledger, validate_run_ledger
 
 __all__ = [
+    "expand_report_paths",
     "load_run",
     "overlap_block",
     "imbalance_block",
@@ -62,6 +63,45 @@ KERNEL_STAGES = {
 # ---------------------------------------------------------------------------
 # loading
 # ---------------------------------------------------------------------------
+
+
+def expand_report_paths(paths: list) -> list:
+    """Expand sweep manifests and summary trees into individual run paths.
+
+    Three indirections resolve, in input order (each expansion sorted):
+
+    * a sweep ``manifest.jsonl`` (or a directory containing one) -> the
+      summary path of every completed member recorded in it;
+    * a directory without a ``run_summary.json`` of its own -> every
+      ``run_summary.json`` found beneath it (e.g. a sweep's ``members/``
+      tree, or any folder of archived runs);
+    * anything else (run directory, summary file, run ledger) passes
+      through to :func:`load_run` unchanged.
+    """
+    from ..sweep.manifest import is_sweep_manifest, manifest_member_paths, read_manifest
+
+    expanded = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir() and not (path / "run_summary.json").exists():
+            if (path / "manifest.jsonl").exists():
+                expanded.extend(manifest_member_paths(path / "manifest.jsonl"))
+                continue
+            summaries = sorted(path.rglob("run_summary.json"))
+            if not summaries:
+                raise FileNotFoundError(
+                    f"{path} has no run_summary.json, sweep manifest.jsonl or "
+                    "member summaries beneath it"
+                )
+            expanded.extend(str(p) for p in summaries)
+            continue
+        if path.suffix == ".jsonl" and path.is_file() and is_sweep_manifest(
+            read_manifest(path)
+        ):
+            expanded.extend(manifest_member_paths(path))
+            continue
+        expanded.append(str(path))
+    return expanded
 
 
 def load_run(path) -> dict:
@@ -368,8 +408,13 @@ def analyze_run(run: dict, gts_summary: dict | None = None) -> dict:
 
 
 def build_report(paths: list) -> dict:
-    """Load every run and assemble the full report payload."""
-    runs = [load_run(path) for path in paths]
+    """Load every run and assemble the full report payload.
+
+    Paths may be run directories, summary files or ledgers -- or sweep
+    manifests / summary trees, which expand to their members first (see
+    :func:`expand_report_paths`).
+    """
+    runs = [load_run(path) for path in expand_report_paths(paths)]
     # the first GTS run among the inputs serves as the measured-speedup
     # reference for every comparable LTS run
     gts_summary = next(

@@ -1,0 +1,391 @@
+"""Content-addressed preprocessing cache.
+
+The paper's fused-simulation and clustered-LTS arguments are amortization
+arguments: many related runs should share setup cost.  This module makes
+that sharing concrete for the preprocessing pipeline: each stage -- mesh,
+materials, assembled kernel operators, LTS clustering, weighted partition /
+reordering -- is keyed by a SHA-256 over *only the spec fields that
+determine its result* and persisted as an ``.npz`` under a cache directory.
+A 1000-member source ensemble on a shared mesh therefore pays mesh,
+operator-assembly and clustering cost once: the source location is not part
+of any stage key, so every member after the first loads bit-identical
+arrays from disk.
+
+Stage keys deliberately do NOT reuse
+:func:`repro.observability.events.spec_content_hash`, which hashes the
+whole spec including the ``output`` observability block -- two runs that
+differ only in ``--events`` must share every cache entry.  The
+``output``-insensitive whole-spec hash is :func:`result_content_hash`, the
+identity under which sweep manifests compare members against standalone
+runs.
+
+Key derivation starts from ``spec.to_dict()`` -- the defaults-filled,
+JSON-native form -- and serialises key-sorted, so field order, tuple/list
+representation and defaulted-vs-explicit values cannot split the cache.
+
+All writes are atomic (tmp file + ``os.replace``), so concurrent sweep
+workers can share one cache directory: the worst race is building the same
+artifact twice, never reading a torn file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.clustering import Clustering
+from ..equations.material import MaterialTable
+from ..mesh.tet_mesh import TetMesh
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "STAGES",
+    "result_content_hash",
+    "stage_key_fields",
+    "stage_key",
+    "PreprocessingCache",
+    "diff_stats",
+    "warm_preprocessing",
+]
+
+#: bumped whenever a stage's serialised layout (or anything influencing its
+#: artifact bytes) changes; part of every stage key, so stale cache
+#: directories miss instead of poisoning new runs
+CACHE_FORMAT_VERSION = 1
+
+#: the cacheable pipeline stages, in dependency order
+STAGES = ("mesh", "materials", "operators", "clustering", "partition")
+
+
+def _canonical_hash(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def result_content_hash(spec) -> str:
+    """SHA-256 of the spec minus the ``output`` observability block.
+
+    The observability knobs (telemetry, traces, ledgers, progress) never
+    influence the numerical result, so this is the identity under which a
+    sweep member and a standalone ``repro run`` of "the same scenario"
+    compare equal even though the sweep instruments its members.
+    """
+    data = spec.to_dict()
+    data.pop("output", None)
+    return _canonical_hash(data)
+
+
+# ---------------------------------------------------------------------------
+# per-stage key fields
+# ---------------------------------------------------------------------------
+
+
+def stage_key_fields(spec, stage: str, *, layout: str = "original") -> dict:
+    """The result-determining spec fields of one pipeline stage.
+
+    * ``mesh``: the domain and mesh blocks; in ``wavelength`` mode also the
+      velocity model and the order (the elements-per-wavelength rule reads
+      both).  Source, materials options, solver and output knobs are
+      excluded -- a source ensemble shares one mesh.
+    * ``materials``: the mesh fields plus the velocity model and the
+      ``anelastic`` switch (which strips the quality factors).
+    * ``operators``: the materials fields plus everything the operator
+      assembly reads -- order, mechanisms, constant-Q band, flux, CFL and
+      the run precision (operators are stored post-cast).  ``layout``
+      discriminates the element order the arrays were assembled in:
+      ``"original"`` (mesh order) vs ``"reordered"`` (solver order after the
+      partition/reordering pass, whose key then also covers the
+      preprocessing and clustering policy that shaped the permutation).
+    * ``clustering``: the materials fields plus order, CFL and the
+      clustering policy (the per-element CFL steps feed the lambda search);
+      derived in original element order, so reordered and plain runs share
+      the entry.
+    * ``partition``: the clustering fields plus the preprocessing block
+      (partition count / reordering).
+    """
+    if stage not in STAGES:
+        raise ValueError(f"stage must be one of {STAGES}, got {stage!r}")
+    if layout not in ("original", "reordered"):
+        raise ValueError(f"layout must be 'original' or 'reordered', got {layout!r}")
+    d = spec.to_dict()
+    fields: dict = {"domain": d["domain"], "mesh": d["mesh"]}
+    if stage == "mesh":
+        if spec.mesh.mode == "wavelength":
+            fields["velocity_model"] = d["velocity_model"]
+            fields["order"] = d["order"]
+        return fields
+    fields["velocity_model"] = d["velocity_model"]
+    fields["anelastic"] = d["material"]["anelastic"]
+    if stage == "materials":
+        return fields
+    if stage == "operators":
+        fields["order"] = d["order"]
+        fields["material"] = d["material"]
+        fields["flux"] = d["solver"]["flux"]
+        fields["cfl"] = d["solver"]["cfl"]
+        fields["precision"] = d["solver"]["precision"]
+        fields["layout"] = layout
+        if layout == "reordered":
+            # the reordering permutation (and hence the element order the
+            # arrays are stored in) depends on the partition count and the
+            # clustering policy
+            fields["preprocessing"] = d["preprocessing"]
+            fields["clustering"] = d["clustering"]
+        return fields
+    fields["order"] = d["order"]
+    fields["cfl"] = d["solver"]["cfl"]
+    fields["clustering"] = d["clustering"]
+    if stage == "clustering":
+        return fields
+    fields["preprocessing"] = d["preprocessing"]  # stage == "partition"
+    return fields
+
+
+def stage_key(spec, stage: str, *, layout: str = "original") -> str:
+    """The content-address of one stage: SHA-256 over its key fields."""
+    return _canonical_hash(
+        {
+            "stage": stage,
+            "format": CACHE_FORMAT_VERSION,
+            **stage_key_fields(spec, stage, layout=layout),
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+
+class PreprocessingCache:
+    """Content-addressed, on-disk store of preprocessing stage artifacts.
+
+    Layout: ``<root>/<stage>/<key>.npz``, one file per artifact.  Loads and
+    stores are counted per stage in :attr:`stats`; sweep workers report the
+    per-member delta (:meth:`snapshot` / :func:`diff_stats`) into the sweep
+    manifest, which is how "preprocessing was paid exactly once" becomes a
+    checkable claim rather than a hope.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.stats: dict[str, dict[str, int]] = {
+            stage: {"hits": 0, "misses": 0} for stage in STAGES
+        }
+
+    # -- bookkeeping -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """A deep copy of the hit/miss counters (for delta accounting)."""
+        return {stage: dict(counts) for stage, counts in self.stats.items()}
+
+    def _count(self, stage: str, hit: bool) -> None:
+        self.stats[stage]["hits" if hit else "misses"] += 1
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.root / stage / f"{key}.npz"
+
+    def _store(self, stage: str, key: str, arrays: dict) -> None:
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # atomic publish: concurrent workers may race to build the same
+        # artifact, but a reader can never observe a torn file
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, path)
+
+    def _load(self, stage: str, key: str) -> dict | None:
+        path = self._path(stage, key)
+        if not path.exists():
+            return None
+        with np.load(path) as data:
+            return {name: data[name].copy() for name in data.files}
+
+    def is_warm(self, spec) -> bool:
+        """Whether every stage artifact the spec needs already exists on disk."""
+        keys = [
+            ("mesh", stage_key(spec, "mesh")),
+            ("materials", stage_key(spec, "materials")),
+            ("operators", stage_key(spec, "operators")),
+            ("clustering", stage_key(spec, "clustering")),
+        ]
+        if spec.preprocessing.active:
+            keys.append(("partition", stage_key(spec, "partition")))
+            keys.append(("operators", stage_key(spec, "operators", layout="reordered")))
+        return all(self._path(stage, key).exists() for stage, key in keys)
+
+    # -- stages ----------------------------------------------------------
+    def mesh(self, spec, build) -> TetMesh:
+        """Load the mesh stage, or ``build()`` and persist it."""
+        key = stage_key(spec, "mesh")
+        stored = self._load("mesh", key)
+        if stored is not None:
+            self._count("mesh", hit=True)
+            return TetMesh(
+                vertices=stored["vertices"],
+                elements=stored["elements"],
+                boundary_tags=stored["boundary_tags"],
+            )
+        self._count("mesh", hit=False)
+        mesh = build()
+        self._store(
+            "mesh",
+            key,
+            {
+                "vertices": mesh.vertices,
+                "elements": mesh.elements,
+                "boundary_tags": mesh.boundary_tags,
+            },
+        )
+        return mesh
+
+    def materials(self, spec, build) -> MaterialTable:
+        """Load the materials stage, or ``build()`` and persist it."""
+        key = stage_key(spec, "materials")
+        stored = self._load("materials", key)
+        if stored is not None:
+            self._count("materials", hit=True)
+            return MaterialTable(
+                rho=stored["rho"], vp=stored["vp"], vs=stored["vs"],
+                qp=stored["qp"], qs=stored["qs"],
+            )
+        self._count("materials", hit=False)
+        materials = build()
+        self._store(
+            "materials",
+            key,
+            {
+                "rho": materials.rho, "vp": materials.vp, "vs": materials.vs,
+                "qp": materials.qp, "qs": materials.qs,
+            },
+        )
+        return materials
+
+    def discretization(self, spec, mesh, materials, kwargs: dict,
+                       *, layout: str = "original"):
+        """Build a :class:`~repro.kernels.discretization.Discretization`,
+        reusing the cached ``operators`` stage when present.
+
+        ``kwargs`` are the non-(mesh, materials) constructor arguments; only
+        the expensive assembled arrays travel through the cache -- geometry
+        and the reference element are recomputed (cheap, deterministic).
+        ``layout`` must name the element order of ``mesh``/``materials``
+        (see :func:`stage_key_fields`).
+        """
+        from ..kernels.discretization import Discretization
+
+        key = stage_key(spec, "operators", layout=layout)
+        stored = self._load("operators", key)
+        if stored is not None:
+            self._count("operators", hit=True)
+            return Discretization(mesh, materials, operators=stored, **kwargs)
+        self._count("operators", hit=False)
+        disc = Discretization(mesh, materials, **kwargs)
+        self._store("operators", key, disc.operator_arrays())
+        return disc
+
+    def clustering(self, spec, derive) -> Clustering:
+        """Load the clustering stage, or ``derive()`` and persist it."""
+        key = stage_key(spec, "clustering")
+        stored = self._load("clustering", key)
+        if stored is not None:
+            self._count("clustering", hit=True)
+            return Clustering(
+                cluster_ids=stored["cluster_ids"],
+                cluster_time_steps=stored["cluster_time_steps"],
+                lam=float(stored["lam"]),
+                dt_min=float(stored["dt_min"]),
+            )
+        self._count("clustering", hit=False)
+        clustering = derive()
+        self._store(
+            "clustering",
+            key,
+            {
+                "cluster_ids": clustering.cluster_ids,
+                "cluster_time_steps": clustering.cluster_time_steps,
+                "lam": np.float64(clustering.lam),
+                "dt_min": np.float64(clustering.dt_min),
+            },
+        )
+        return clustering
+
+    def partition(self, spec) -> dict | None:
+        """The cached partition/reordering stage, or ``None`` on a miss.
+
+        Returns ``{"permutation", "partitions", "time_steps", clustering}``
+        in *solver (reordered) element order*; the caller derives the
+        reordered mesh/materials by applying the permutation (cheap).
+        """
+        stored = self._load("partition", stage_key(spec, "partition"))
+        if stored is None:
+            self._count("partition", hit=False)
+            return None
+        self._count("partition", hit=True)
+        return {
+            "permutation": stored["permutation"],
+            "partitions": stored["partitions"],
+            "time_steps": stored["time_steps"],
+            "clustering": Clustering(
+                cluster_ids=stored["cluster_ids"],
+                cluster_time_steps=stored["cluster_time_steps"],
+                lam=float(stored["lam"]),
+                dt_min=float(stored["dt_min"]),
+            ),
+        }
+
+    def store_partition(self, spec, *, permutation, partitions, time_steps,
+                        clustering: Clustering) -> None:
+        """Persist the partition/reordering stage (post-permutation arrays)."""
+        self._store(
+            "partition",
+            stage_key(spec, "partition"),
+            {
+                "permutation": np.asarray(permutation, dtype=np.int64),
+                "partitions": np.asarray(partitions, dtype=np.int64),
+                "time_steps": np.asarray(time_steps),
+                "cluster_ids": clustering.cluster_ids,
+                "cluster_time_steps": clustering.cluster_time_steps,
+                "lam": np.float64(clustering.lam),
+                "dt_min": np.float64(clustering.dt_min),
+            },
+        )
+
+
+def diff_stats(before: dict, after: dict) -> dict:
+    """Per-stage hit/miss delta between two :meth:`snapshot` results,
+    dropping stages that saw no traffic (keeps manifest rows small)."""
+    delta = {}
+    for stage, counts in after.items():
+        base = before.get(stage, {})
+        row = {k: counts[k] - base.get(k, 0) for k in counts}
+        if any(row.values()):
+            delta[stage] = row
+    return delta
+
+
+def warm_preprocessing(spec, cache: PreprocessingCache) -> dict:
+    """Build (or touch) every stage artifact a spec needs; returns the
+    per-stage hit/miss delta.
+
+    The sweep orchestrator calls this once per unique preprocessing
+    signature *before* starting its workers, so a shared-mesh ensemble pays
+    mesh/operator/clustering cost exactly once -- in the parent -- and every
+    member run is a pure cache hit regardless of worker count.  Only the
+    preprocessing stages run; no solver is constructed.
+    """
+    from ..scenarios.runner import _build_discretization, build_setup, preprocess_setup
+
+    before = cache.snapshot()
+    setup = build_setup(spec, cache=cache)
+    if spec.preprocessing.active:
+        model = preprocess_setup(spec, setup, cache=cache)
+        _build_discretization(spec, model.mesh, model.materials,
+                              cache=cache, layout="reordered")
+    else:
+        cache.clustering(spec, setup.clustering)
+    return diff_stats(before, cache.snapshot())

@@ -126,72 +126,105 @@ class PreprocessingPipeline:
             )
         return self.preprocess(mesh, materials)
 
-    def preprocess(self, mesh: TetMesh, materials: MaterialTable) -> PreprocessedModel:
-        """Steps 3-6 of the pipeline on a prebuilt mesh + material table.
-
-        The scenario runner uses this entry point to route spec-built meshes
-        through clustering, weighted partitioning and reordering.
-        """
+    # -- explicit stages (the preprocessing cache's unit of storage) ----
+    def derive_time_steps(self, mesh: TetMesh, materials: MaterialTable) -> np.ndarray:
+        """Step 2b: per-element CFL time steps."""
         with self.telemetry.region("preprocess.time_steps"):
-            time_steps = cfl_time_steps(
+            return cfl_time_steps(
                 mesh.insphere_radii, materials.max_wave_speed, self.order, self.cfl
             )
 
-        # LTS clustering (Sec. V-A): an explicit lambda wins, otherwise the
-        # grid search runs (or lambda = 1 when the search is disabled)
+    def derive_clustering(self, mesh: TetMesh, time_steps: np.ndarray) -> Clustering:
+        """Step 3: LTS clustering (Sec. V-A) in *original* element order.
+
+        An explicit lambda wins, otherwise the grid search runs (or
+        lambda = 1 when the search is disabled).
+        """
         with self.telemetry.region("preprocess.clustering"):
             if self.lam is not None:
-                clustering = derive_clustering(
+                return derive_clustering(
                     time_steps, self.n_clusters, self.lam, mesh.neighbors
                 )
-            elif self.optimize_lambda_increment > 0:
-                clustering = optimize_lambda(
+            if self.optimize_lambda_increment > 0:
+                return optimize_lambda(
                     time_steps, self.n_clusters, mesh.neighbors,
                     self.optimize_lambda_increment,
                 )
-            else:
-                clustering = derive_clustering(
-                    time_steps, self.n_clusters, 1.0, mesh.neighbors
-                )
+            return derive_clustering(time_steps, self.n_clusters, 1.0, mesh.neighbors)
 
-        # weighted partitioning (Sec. V-C)
+    def derive_partition(self, mesh: TetMesh, clustering: Clustering) -> PartitionResult:
+        """Step 4: weighted partitioning (Sec. V-C)."""
         with self.telemetry.region("preprocess.partition"):
             weights = element_weights(clustering.cluster_ids, clustering.n_clusters)
-            partition: PartitionResult = partition_dual_graph(
-                mesh.neighbors, weights, self.n_partitions
-            )
+            return partition_dual_graph(mesh.neighbors, weights, self.n_partitions)
 
-        # reordering by partition, cluster and communication role (Sec. VI)
+    def derive_permutation(
+        self, mesh: TetMesh, clustering: Clustering, partitions: np.ndarray
+    ) -> np.ndarray:
+        """Step 5: the (partition, cluster, communication-role) reordering
+        permutation (Sec. VI), original -> solver element order."""
         with self.telemetry.region("preprocess.reorder"):
             send_role = np.any(
                 (mesh.neighbors >= 0)
                 & (
-                    partition.partitions[np.maximum(mesh.neighbors, 0)]
-                    != partition.partitions[:, None]
+                    partitions[np.maximum(mesh.neighbors, 0)]
+                    != partitions[:, None]
                 ),
                 axis=1,
             ).astype(np.int64)
-            reorder = reorder_elements(
-                partition.partitions, clustering.cluster_ids, send_role
-            )
-            perm = reorder.permutation
+            return reorder_elements(
+                partitions, clustering.cluster_ids, send_role
+            ).permutation
 
-            reordered_mesh = mesh.permuted(perm)
-            reordered_materials = materials.subset(perm)
-            reordered_steps = time_steps[perm]
-            reordered_clustering = Clustering(
-                cluster_ids=clustering.cluster_ids[perm],
+    def assemble(
+        self,
+        mesh: TetMesh,
+        materials: MaterialTable,
+        time_steps: np.ndarray,
+        clustering: Clustering,
+        partitions: np.ndarray,
+        permutation: np.ndarray,
+    ) -> PreprocessedModel:
+        """Apply the reordering permutation and package the model.
+
+        Pure array shuffling -- cheap and deterministic, so the cache stores
+        the permutation (plus the post-permutation clustering/partitions)
+        and replays this step rather than persisting whole reordered meshes.
+        """
+        return PreprocessedModel(
+            mesh=mesh.permuted(permutation),
+            materials=materials.subset(permutation),
+            time_steps=time_steps[permutation],
+            clustering=Clustering(
+                cluster_ids=clustering.cluster_ids[permutation],
                 cluster_time_steps=clustering.cluster_time_steps,
                 lam=clustering.lam,
                 dt_min=clustering.dt_min,
-            )
-        return PreprocessedModel(
-            mesh=reordered_mesh,
-            materials=reordered_materials,
-            time_steps=reordered_steps,
-            clustering=reordered_clustering,
-            partitions=partition.partitions[perm],
+            ),
+            partitions=partitions[permutation],
             order=self.order,
             n_mechanisms=self.n_mechanisms,
             frequency_band=(self.max_frequency / 50.0, self.max_frequency),
+        )
+
+    def preprocess(
+        self,
+        mesh: TetMesh,
+        materials: MaterialTable,
+        clustering: Clustering | None = None,
+    ) -> PreprocessedModel:
+        """Steps 3-6 of the pipeline on a prebuilt mesh + material table.
+
+        The scenario runner uses this entry point to route spec-built meshes
+        through clustering, weighted partitioning and reordering.  A prebuilt
+        ``clustering`` (e.g. the preprocessing cache's clustering stage, in
+        original element order) skips the clustering stage.
+        """
+        time_steps = self.derive_time_steps(mesh, materials)
+        if clustering is None:
+            clustering = self.derive_clustering(mesh, time_steps)
+        partition = self.derive_partition(mesh, clustering)
+        permutation = self.derive_permutation(mesh, clustering, partition.partitions)
+        return self.assemble(
+            mesh, materials, time_steps, clustering, partition.partitions, permutation
         )

@@ -13,8 +13,15 @@
     python -m repro run loh3 --metrics --events out/run.jsonl --progress
     python -m repro resume run.ckpt.npz
     python -m repro resume run.ckpt.npz --backend process --checkpoint-every 2
+    python -m repro sweep loh3 --smoke --out sweeps/loh3 \
+        --axis 'source.location=[[0,0,-1000],[500,0,-1000],[0,500,-1000],[250,250,-500]]'
+    python -m repro sweep loh3 --smoke --out sweeps/lam --axis clustering.lam=0.7,0.8,0.9
+    python -m repro sweep --spec sweep.json --out sweeps/x --workers 4
+    python -m repro sweep --spec sweep.json --out sweeps/x --resume
     python -m repro report out/ gts_out/
     python -m repro report ref_out/ opt_out/ fast_out/ --json
+    python -m repro report sweeps/loh3/manifest.jsonl
+    python -m repro report sweeps/loh3/members/
     python -m repro verify --kernels fast
     python -m repro verify loh3 --kernels fast --ranks 2 --backend process
     python -m repro verify plane_wave --kernels fast
@@ -50,6 +57,29 @@ def _parse_value(text: str):
         except ValueError:
             continue
     return text
+
+
+def _parse_axis(text: str) -> dict:
+    """Parse one ``--axis PATH=VALUES`` argument into a SweepAxis dict.
+
+    ``VALUES`` is either a JSON array (required for structured values like
+    source locations) or a comma-separated list of scalars run through the
+    ``--set`` literal parser.
+    """
+    if "=" not in text:
+        raise SystemExit(f"--axis expects PATH=VALUES, got {text!r}")
+    path, _, values_text = text.partition("=")
+    values_text = values_text.strip()
+    if values_text.startswith("["):
+        try:
+            values = json.loads(values_text)
+        except json.JSONDecodeError as error:
+            raise SystemExit(f"--axis {path}: invalid JSON values: {error}")
+        if not isinstance(values, list):
+            raise SystemExit(f"--axis {path}: JSON values must be an array")
+    else:
+        values = [_parse_value(item.strip()) for item in values_text.split(",") if item.strip()]
+    return {"path": path.strip(), "values": values}
 
 
 def _parse_overrides(pairs: list[str]) -> dict:
@@ -155,6 +185,52 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suppress the JSON report (exit code still reflects "
                              "pass/fail)")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a base scenario over parameter axes and shard the "
+             "members over a worker pool with a shared preprocessing cache",
+    )
+    sweep.add_argument("name", nargs="?", help="registered scenario name (the base spec)")
+    sweep.add_argument("--spec", metavar="FILE",
+                       help="path to a SweepSpec JSON file (instead of a "
+                            "name plus --axis flags)")
+    sweep.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                       help="base-spec factory override (repeatable)")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="coarsen the base spec (see 'run --smoke')")
+    sweep.add_argument("--axis", action="append", default=[], metavar="PATH=VALUES",
+                       help="swept parameter (repeatable): a dotted spec path "
+                            "plus comma-separated scalars or a JSON array, "
+                            "e.g. --axis clustering.lam=0.7,0.8 or "
+                            "--axis 'source.location=[[0,0,-1000],[500,0,-1000]]'; "
+                            "members are the cartesian product of all axes")
+    sweep.add_argument("--sweep-name", metavar="NAME",
+                       help="sweep name recorded in the manifest "
+                            "(default: <base>-sweep)")
+    sweep.add_argument("--out", required=True, metavar="DIR",
+                       help="sweep output tree: manifest.jsonl, cache/, "
+                            "members/<id>/")
+    sweep.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker processes (default 2; 0 runs every "
+                            "member inline in this process)")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="shared preprocessing cache directory "
+                            "(default: <out>/cache; point several sweeps at "
+                            "one directory to share artifacts across sweeps)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume from <out>/manifest.jsonl: members "
+                            "already done are skipped, in-flight and failed "
+                            "ones re-run")
+    sweep.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="re-queue a crashed/failed member this many "
+                            "times before marking it failed (default 1)")
+    sweep.add_argument("--no-events", dest="events", action="store_false",
+                       help="skip the per-member JSONL run ledgers")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit the final tally as JSON")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-member progress on stderr")
+
     resume = sub.add_parser("resume", help="resume a checkpointed run")
     resume.add_argument("checkpoint", help="checkpoint file written by 'run --checkpoint'")
     resume.add_argument("--backend", choices=("serial", "process"),
@@ -193,10 +269,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("runs", nargs="+", metavar="RUN",
                         help="run artefacts to analyse: an --output-dir "
-                             "directory, a run_summary.json, or an --events "
-                             "JSONL ledger; pass several runs (e.g. ref/opt/"
-                             "fast, or an LTS run plus a GTS reference of the "
-                             "same scenario) for the comparison table")
+                             "directory, a run_summary.json, an --events "
+                             "JSONL ledger, a sweep manifest.jsonl (expands "
+                             "to every completed member), or a directory of "
+                             "summaries (e.g. a sweep's members/ tree); pass "
+                             "several runs (e.g. ref/opt/fast, or an LTS run "
+                             "plus a GTS reference of the same scenario) for "
+                             "the comparison table")
     report.add_argument("--json", action="store_true",
                         help="emit the full report payload as JSON instead "
                              "of the text rendering")
@@ -363,6 +442,73 @@ def _cmd_verify(args) -> int:
     return 0 if passed else 1
 
 
+def _resolve_sweep(args):
+    from ..sweep import SweepAxis, SweepSpec
+
+    if args.spec:
+        if args.name or args.axis or args.set or args.smoke:
+            raise SystemExit(
+                "sweep takes a SweepSpec --spec FILE *or* a scenario name "
+                "plus --axis flags, not both"
+            )
+        with open(args.spec) as handle:
+            return SweepSpec.from_json(handle.read())
+    if not args.name:
+        raise SystemExit("sweep needs a scenario name or --spec FILE")
+    if not args.axis:
+        raise SystemExit("sweep needs at least one --axis PATH=VALUES")
+    base = get_scenario(args.name, **_parse_overrides(args.set))
+    if args.smoke:
+        base = base.smoke()
+    return SweepSpec(
+        base=base,
+        axes=tuple(SweepAxis(**_parse_axis(axis)) for axis in args.axis),
+        name=args.sweep_name or "",
+    )
+
+
+def _cmd_sweep(args) -> int:
+    from ..sweep import run_sweep
+
+    try:
+        sweep = _resolve_sweep(args)
+    except (KeyError, ValueError, TypeError, OSError) as error:
+        return _input_error(error)
+    log = (lambda message: None) if args.quiet else (
+        lambda message: print(f"[{sweep.name}] {message}", file=sys.stderr)
+    )
+    if not args.quiet:
+        axes = ", ".join(f"{a.path} x{len(a.values)}" for a in sweep.axes)
+        print(
+            f"[{sweep.name}] {sweep.n_members} members ({axes}), "
+            f"{args.workers} worker(s) -> {args.out}",
+            file=sys.stderr,
+        )
+    try:
+        tally = run_sweep(
+            sweep,
+            args.out,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            resume=args.resume,
+            events=args.events,
+            retries=args.retries,
+            log=log,
+        )
+    except (ValueError, OSError) as error:
+        return _input_error(error)
+    if args.json:
+        print(json.dumps(tally, indent=2))
+    elif not args.quiet:
+        print(
+            f"[{sweep.name}] {tally['done']} done, {tally['skipped']} skipped, "
+            f"{tally['failed']} failed in {tally['wall_s']:.1f} s; "
+            f"manifest -> {tally['manifest']}",
+            file=sys.stderr,
+        )
+    return 0 if tally["failed"] == 0 else 1
+
+
 def _cmd_resume(args) -> int:
     try:
         runner = ScenarioRunner.resume(
@@ -416,6 +562,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "resume":
         return _cmd_resume(args)
     if args.command == "report":

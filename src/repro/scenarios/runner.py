@@ -48,6 +48,7 @@ __all__ = [
     "ScenarioSetup",
     "ScenarioRunner",
     "build_setup",
+    "preprocess_setup",
     "make_runner",
     "runner_class_for",
     "measure_update_cost",
@@ -225,9 +226,23 @@ class ScenarioSetup:
         return derive_clustering(self.time_steps, n_clusters, lam, self.mesh.neighbors)
 
 
-def _build_discretization(spec: ScenarioSpec, mesh: TetMesh, materials: MaterialTable):
+def _build_discretization(
+    spec: ScenarioSpec,
+    mesh: TetMesh,
+    materials: MaterialTable,
+    *,
+    cache=None,
+    layout: str = "original",
+):
     """Discretization per the spec's material/solver options (shared between
-    the plain build and the reordered preprocessing path)."""
+    the plain build and the reordered preprocessing path).
+
+    With a :class:`~repro.preprocessing.cache.PreprocessingCache`, the
+    expensive assembled operator arrays are loaded from (or stored to) the
+    cache's ``operators`` stage; ``layout`` names the element order of
+    ``mesh``/``materials`` so original-order and reordered entries never
+    collide.
+    """
     n_mechanisms = (
         spec.material.n_mechanisms
         if (spec.material.anelastic and materials.is_attenuating())
@@ -237,9 +252,7 @@ def _build_discretization(spec: ScenarioSpec, mesh: TetMesh, materials: Material
         spec.mesh.max_frequency / 20.0,
         2.0 * spec.mesh.max_frequency,
     )
-    return Discretization(
-        mesh,
-        materials,
+    kwargs = dict(
         order=spec.order,
         n_mechanisms=n_mechanisms,
         frequency_band=band,
@@ -247,26 +260,48 @@ def _build_discretization(spec: ScenarioSpec, mesh: TetMesh, materials: Material
         cfl=spec.solver.cfl,
         precision=spec.solver.precision,
     )
+    if cache is not None:
+        return cache.discretization(spec, mesh, materials, kwargs, layout=layout)
+    return Discretization(mesh, materials, **kwargs)
 
 
-def build_setup(spec: ScenarioSpec) -> ScenarioSetup:
+def build_setup(spec: ScenarioSpec, *, cache=None) -> ScenarioSetup:
     """Materialise a spec: velocity model, mesh, materials, discretization,
-    source, receivers and initial condition (no partitioning/reordering)."""
+    source, receivers and initial condition (no partitioning/reordering).
+
+    With ``cache`` set, the mesh, material table and assembled operators are
+    loaded from the content-addressed preprocessing cache when present (and
+    stored after building otherwise); the returned setup is bit-identical
+    either way.
+    """
     model = build_velocity_model(spec)
     rule, horizontal = _edge_rules(spec, model)
-    mesh = layered_box_mesh(
-        extent=spec.domain.extent,
-        edge_length_of_depth=rule,
-        horizontal_edge_length=horizontal,
-        jitter=spec.mesh.jitter,
-        seed=spec.mesh.seed,
-        topography=_topography(spec),
-        free_surface_top=spec.domain.free_surface,
+
+    def _build_mesh() -> TetMesh:
+        return layered_box_mesh(
+            extent=spec.domain.extent,
+            edge_length_of_depth=rule,
+            horizontal_edge_length=horizontal,
+            jitter=spec.mesh.jitter,
+            seed=spec.mesh.seed,
+            topography=_topography(spec),
+            free_surface_top=spec.domain.free_surface,
+        )
+
+    mesh = cache.mesh(spec, _build_mesh) if cache is not None else _build_mesh()
+
+    def _build_materials() -> MaterialTable:
+        materials = MaterialTable.from_velocity_model(model, mesh.centroids)
+        if not spec.material.anelastic:
+            materials = MaterialTable(
+                rho=materials.rho, vp=materials.vp, vs=materials.vs
+            )
+        return materials
+
+    materials = (
+        cache.materials(spec, _build_materials) if cache is not None else _build_materials()
     )
-    materials = MaterialTable.from_velocity_model(model, mesh.centroids)
-    if not spec.material.anelastic:
-        materials = MaterialTable(rho=materials.rho, vp=materials.vp, vs=materials.vs)
-    disc = _build_discretization(spec, mesh, materials)
+    disc = _build_discretization(spec, mesh, materials, cache=cache)
     return ScenarioSetup(
         spec=spec,
         velocity_model=model,
@@ -278,6 +313,70 @@ def build_setup(spec: ScenarioSpec) -> ScenarioSetup:
         receiver_locations=spec.receiver_locations,
         initial_condition=_initial_condition(spec, materials),
     )
+
+
+def preprocess_setup(spec: ScenarioSpec, setup: ScenarioSetup, *, cache=None,
+                     telemetry=None):
+    """Route a setup's mesh + materials through the weighted-partitioning /
+    reordering stages (Fig. 8, steps 3-5); returns the
+    :class:`~repro.preprocessing.pipeline.PreprocessedModel`.
+
+    With ``cache`` set, the clustering stage and the partition/reordering
+    stage (stored as the permutation plus the post-permutation clustering,
+    partitions and time steps -- the cheap :meth:`assemble` replay applies
+    the permutation) are loaded from the preprocessing cache when present.
+    """
+    from ..preprocessing.pipeline import PreprocessedModel, PreprocessingPipeline
+
+    pipeline = PreprocessingPipeline(
+        velocity_model=setup.velocity_model,
+        extent=spec.domain.extent,
+        max_frequency=spec.mesh.max_frequency,
+        elements_per_wavelength=spec.mesh.elements_per_wavelength,
+        order=spec.order,
+        n_mechanisms=spec.material.n_mechanisms,
+        n_clusters=spec.clustering.n_clusters,
+        n_partitions=spec.preprocessing.n_partitions,
+        cfl=spec.solver.cfl,
+        jitter=spec.mesh.jitter,
+        optimize_lambda_increment=spec.clustering.increment,
+        lam=spec.clustering.lam,
+        seed=spec.mesh.seed,
+        telemetry=telemetry,
+    )
+    mesh, materials = setup.mesh, setup.materials
+    if cache is None:
+        return pipeline.preprocess(mesh, materials)
+    stored = cache.partition(spec)
+    if stored is not None:
+        permutation = stored["permutation"]
+        return PreprocessedModel(
+            mesh=mesh.permuted(permutation),
+            materials=materials.subset(permutation),
+            time_steps=stored["time_steps"],
+            clustering=stored["clustering"],
+            partitions=stored["partitions"],
+            order=spec.order,
+            n_mechanisms=spec.material.n_mechanisms,
+            frequency_band=(spec.mesh.max_frequency / 50.0, spec.mesh.max_frequency),
+        )
+    time_steps = pipeline.derive_time_steps(mesh, materials)
+    clustering = cache.clustering(
+        spec, lambda: pipeline.derive_clustering(mesh, time_steps)
+    )
+    partition = pipeline.derive_partition(mesh, clustering)
+    permutation = pipeline.derive_permutation(mesh, clustering, partition.partitions)
+    model = pipeline.assemble(
+        mesh, materials, time_steps, clustering, partition.partitions, permutation
+    )
+    cache.store_partition(
+        spec,
+        permutation=permutation,
+        partitions=model.partitions,
+        time_steps=model.time_steps,
+        clustering=model.clustering,
+    )
+    return model
 
 
 # ---------------------------------------------------------------------------
@@ -294,8 +393,15 @@ class ScenarioRunner:
         *,
         setup: ScenarioSetup | None = None,
         clustering: Clustering | None = None,
+        cache=None,
     ):
         self.spec = spec
+        #: optional content-addressed preprocessing cache
+        #: (:class:`~repro.preprocessing.cache.PreprocessingCache`); every
+        #: expensive preprocessing stage -- mesh, materials, operator
+        #: assembly, clustering, partition/reordering -- is loaded from it
+        #: when present, with bit-identical results either way
+        self.cache = cache
         self.telemetry_config = TelemetryConfig(
             enabled=spec.output.telemetry, trace=spec.output.trace
         )
@@ -308,7 +414,7 @@ class ScenarioRunner:
 
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
-        self.setup = setup if setup is not None else build_setup(spec)
+        self.setup = setup if setup is not None else build_setup(spec, cache=cache)
         self.preprocessed = None
         if spec.preprocessing.active:
             if clustering is not None:
@@ -318,7 +424,13 @@ class ScenarioRunner:
                     "its element indices (let the pipeline derive the clustering)"
                 )
             clustering = self._apply_preprocessing()
-        self.clustering = clustering if clustering is not None else self.setup.clustering()
+        if clustering is None:
+            clustering = (
+                self.cache.clustering(spec, self.setup.clustering)
+                if self.cache is not None
+                else self.setup.clustering()
+            )
+        self.clustering = clustering
 
         disc = self.setup.disc
         self.receivers = (
@@ -362,27 +474,13 @@ class ScenarioRunner:
         """Route mesh + materials through the weighted-partitioning /
         reordering stages of the preprocessing pipeline (Fig. 8, steps 3-5)
         and rebuild the discretization in solver element order."""
-        from ..preprocessing.pipeline import PreprocessingPipeline
-
         spec = self.spec
-        pipeline = PreprocessingPipeline(
-            velocity_model=self.setup.velocity_model,
-            extent=spec.domain.extent,
-            max_frequency=spec.mesh.max_frequency,
-            elements_per_wavelength=spec.mesh.elements_per_wavelength,
-            order=spec.order,
-            n_mechanisms=spec.material.n_mechanisms,
-            n_clusters=spec.clustering.n_clusters,
-            n_partitions=spec.preprocessing.n_partitions,
-            cfl=spec.solver.cfl,
-            jitter=spec.mesh.jitter,
-            optimize_lambda_increment=spec.clustering.increment,
-            lam=spec.clustering.lam,
-            seed=spec.mesh.seed,
-            telemetry=self.telemetry,
+        model = preprocess_setup(
+            spec, self.setup, cache=self.cache, telemetry=self.telemetry
         )
-        model = pipeline.preprocess(self.setup.mesh, self.setup.materials)
-        disc = _build_discretization(spec, model.mesh, model.materials)
+        disc = _build_discretization(
+            spec, model.mesh, model.materials, cache=self.cache, layout="reordered"
+        )
         self.preprocessed = model
         self.setup = ScenarioSetup(
             spec=spec,

@@ -1,0 +1,28 @@
+"""The ensemble sweep service: parameter-axis expansion of a base
+:class:`~repro.scenarios.spec.ScenarioSpec`, a sharded worker pool over the
+content-addressed preprocessing cache, and a crash-durable JSONL manifest.
+"""
+
+from .manifest import (
+    MANIFEST_FORMAT_VERSION,
+    SweepManifest,
+    manifest_member_paths,
+    manifest_state,
+    read_manifest,
+    validate_manifest,
+)
+from .orchestrator import run_sweep
+from .spec import SweepAxis, SweepMember, SweepSpec
+
+__all__ = [
+    "SweepAxis",
+    "SweepMember",
+    "SweepSpec",
+    "SweepManifest",
+    "MANIFEST_FORMAT_VERSION",
+    "read_manifest",
+    "manifest_state",
+    "manifest_member_paths",
+    "validate_manifest",
+    "run_sweep",
+]

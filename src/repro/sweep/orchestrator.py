@@ -1,0 +1,439 @@
+"""The sweep orchestrator: queue, worker pool, manifest, resume.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` into a run
+queue and shards it over a pool of persistent worker processes.  The parent
+owns the manifest (workers report over a result queue; only the parent
+writes, so rows are totally ordered) and the preprocessing cache directory
+is shared by everyone:
+
+1. **Prewarm** -- the parent builds every missing stage artifact once per
+   unique preprocessing signature *before* the pool starts, so a
+   shared-mesh ensemble pays mesh/operator/clustering cost exactly once no
+   matter how many workers run.  The prewarm's cache misses and each
+   member's pure-hit counters land in the manifest as proof.
+2. **Shard** -- workers pull members off a task queue, run them through
+   :func:`~repro.scenarios.runner.make_runner` with the shared cache
+   (each member possibly itself multi-rank via the process backend), and
+   write the member's artefacts under ``members/<id>/``.
+3. **Survive** -- every state transition is a flushed manifest line.  A
+   member whose worker crashes (or raises) is re-queued once, then marked
+   failed.  A sweep killed outright resumes from its manifest: members
+   whose latest status is ``done`` are skipped, everything else --
+   including in-flight ``started`` members -- is re-queued.
+
+``workers=0`` runs every member inline in the parent (deterministic,
+single-process -- the mode the fast tests use).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import signal
+import time
+import traceback
+from pathlib import Path
+
+from ..observability.events import spec_content_hash
+from ..preprocessing.cache import (
+    PreprocessingCache,
+    diff_stats,
+    result_content_hash,
+    stage_key,
+    warm_preprocessing,
+)
+from ..scenarios.outputs import write_outputs
+from ..scenarios.runner import make_runner
+from ..scenarios.spec import ScenarioSpec
+from .manifest import SweepManifest, is_sweep_manifest, manifest_state, read_manifest
+from .spec import SweepSpec
+
+__all__ = ["run_sweep", "preprocessing_signature", "sweep_sha256"]
+
+#: test hook: ``REPRO_SWEEP_KILL=<member_id>[:<flag_path>]`` SIGKILLs the
+#: worker right after it claims that member -- once only when a flag path
+#: is given (the retry then succeeds), every time otherwise
+KILL_ENV = "REPRO_SWEEP_KILL"
+
+
+def sweep_sha256(sweep: SweepSpec) -> str:
+    """Content hash of the sweep definition (manifest <-> sweep pairing)."""
+    canonical = json.dumps(sweep.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def preprocessing_signature(spec: ScenarioSpec) -> str:
+    """One hash over every stage key a spec needs -- the prewarm dedup unit.
+
+    Two members share a signature exactly when they share *all* cached
+    preprocessing artifacts, so warming one representative warms them all.
+    """
+    keys = [stage_key(spec, stage) for stage in
+            ("mesh", "materials", "operators", "clustering")]
+    if spec.preprocessing.active:
+        keys.append(stage_key(spec, "partition"))
+        keys.append(stage_key(spec, "operators", layout="reordered"))
+    return hashlib.sha256("".join(keys).encode()).hexdigest()[:16]
+
+
+def _maybe_kill(member_id: str) -> None:
+    target = os.environ.get(KILL_ENV)
+    if not target:
+        return
+    target, _, flag = target.partition(":")
+    if target != member_id:
+        return
+    if flag:
+        if os.path.exists(flag):
+            return  # already fired once
+        open(flag, "w").close()
+    # give the queue feeder thread a beat to flush the "claimed" message,
+    # so the parent can attribute the corpse to its member deterministically
+    time.sleep(0.25)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _run_member(spec: ScenarioSpec, member_dir: Path, cache: PreprocessingCache) -> dict:
+    """Run one member end-to-end; returns its manifest ``done`` fields."""
+    before = cache.snapshot()
+    start = time.perf_counter()
+    runner = make_runner(spec, cache=cache)
+    summary = runner.run()
+    write_outputs(runner, member_dir, summary=summary)
+    if spec.output.trace:
+        runner.write_trace(member_dir / "trace.json")
+    return {
+        "summary_path": str(member_dir / "run_summary.json"),
+        "wall_s": float(summary["wall_s"]),
+        "total_wall_s": time.perf_counter() - start,
+        "n_elements": summary["n_elements"],
+        "cache": diff_stats(before, cache.snapshot()),
+    }
+
+
+def _worker_main(task_queue, result_queue, cache_dir: str, parent_pid: int) -> None:
+    """Worker loop: pull members until the ``None`` sentinel (or orphaning)."""
+    cache = PreprocessingCache(cache_dir)
+    while True:
+        try:
+            task = task_queue.get(timeout=0.5)
+        except queue_module.Empty:
+            # a SIGKILLed parent can never send sentinels; orphaned workers
+            # notice the re-parenting and exit instead of lingering forever
+            if os.getppid() != parent_pid:
+                return
+            continue
+        if task is None:
+            return
+        member_id, spec_dict, member_dir, attempt = task
+        result_queue.put(("claimed", member_id, os.getpid(), attempt))
+        _maybe_kill(member_id)
+        try:
+            row = _run_member(
+                ScenarioSpec.from_dict(spec_dict), Path(member_dir), cache
+            )
+        except Exception:
+            result_queue.put(
+                ("failed", member_id, os.getpid(), attempt,
+                 traceback.format_exc(limit=20))
+            )
+        else:
+            result_queue.put(("done", member_id, os.getpid(), attempt, row))
+
+
+class _MemberTracker:
+    """Parent-side bookkeeping: manifest rows, retries, the tally."""
+
+    def __init__(self, manifest: SweepManifest, out_dir: Path, retries: int, log):
+        self.manifest = manifest
+        self.out_dir = out_dir
+        self.retries = retries
+        self.log = log
+        self.done = 0
+        self.failed = 0
+
+    def started(self, member, attempt: int, run_spec: ScenarioSpec) -> None:
+        self.manifest.member(
+            member.member_id,
+            "started",
+            attempt=attempt,
+            index=member.index,
+            overrides=member.overrides,
+            spec_sha256=spec_content_hash(run_spec),
+            result_sha256=result_content_hash(run_spec),
+        )
+
+    def finished(self, member, attempt: int, row: dict, run_spec: ScenarioSpec) -> None:
+        row = dict(row)
+        # manifest rows stay valid when the output tree is moved/archived
+        row["summary_path"] = os.path.relpath(row["summary_path"], self.out_dir)
+        self.manifest.member(
+            member.member_id,
+            "done",
+            attempt=attempt,
+            index=member.index,
+            overrides=member.overrides,
+            spec_sha256=spec_content_hash(run_spec),
+            result_sha256=result_content_hash(run_spec),
+            **row,
+        )
+        self.done += 1
+        self.log(
+            f"member {member.member_id} done "
+            f"(wall {row['wall_s']:.2f}s, cache {row.get('cache') or 'cold'})"
+        )
+
+    def errored(self, member, attempt: int, error: str) -> bool:
+        """Handle a failed attempt; returns True when the member should requeue."""
+        if attempt <= self.retries:
+            self.manifest.member(
+                member.member_id, "requeued", attempt=attempt, error=error.strip()
+            )
+            self.log(f"member {member.member_id} attempt {attempt} failed; requeued")
+            return True
+        self.manifest.member(
+            member.member_id, "failed", attempt=attempt, error=error.strip()
+        )
+        self.failed += 1
+        self.log(f"member {member.member_id} failed after {attempt} attempts")
+        return False
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    out_dir,
+    *,
+    workers: int = 2,
+    cache_dir=None,
+    resume: bool = False,
+    events: bool = True,
+    retries: int = 1,
+    log=None,
+) -> dict:
+    """Run (or resume) a sweep; returns the final tally.
+
+    Layout under ``out_dir``: ``manifest.jsonl``, the shared ``cache/``
+    (override with ``cache_dir``) and one ``members/<id>/`` directory per
+    member (run summary, seismograms, run ledger when ``events``).
+
+    ``resume=True`` with an existing manifest skips members already
+    ``done`` and re-queues the rest; the manifest must belong to the same
+    sweep definition (content-hash checked).  ``events`` gives every member
+    a JSONL run ledger (``members/<id>/run.jsonl``).  ``workers=0`` runs
+    inline in the parent.
+    """
+    log = log or (lambda message: None)
+    out_dir = Path(out_dir)
+    members_root = out_dir / "members"
+    cache_dir = Path(cache_dir) if cache_dir is not None else out_dir / "cache"
+    manifest_path = out_dir / "manifest.jsonl"
+    sweep_sha = sweep_sha256(sweep)
+    members = sweep.expand()
+    started_at = time.perf_counter()
+
+    previously_done: dict[str, dict] = {}
+    append = False
+    if resume and manifest_path.exists():
+        records = read_manifest(manifest_path)
+        if not is_sweep_manifest(records):
+            raise ValueError(f"{manifest_path} is not a sweep manifest")
+        header = records[0]
+        if header.get("sweep_sha256") != sweep_sha:
+            raise ValueError(
+                f"{manifest_path} belongs to a different sweep "
+                f"(manifest {header.get('sweep_sha256', '?')[:12]}, "
+                f"requested {sweep_sha[:12]}); refusing to mix results"
+            )
+        previously_done = {
+            member_id: record
+            for member_id, record in manifest_state(records).items()
+            if record.get("status") == "done"
+        }
+        append = True
+
+    pending = [m for m in members if m.member_id not in previously_done]
+    run_specs = {}
+    for member in pending:
+        member_dir = members_root / member.member_id
+        run_specs[member.member_id] = (
+            member.spec.with_overrides(events=str(member_dir / "run.jsonl"))
+            if events
+            else member.spec
+        )
+
+    tally = {
+        "sweep": sweep.name,
+        "sweep_sha256": sweep_sha,
+        "manifest": str(manifest_path),
+        "cache_dir": str(cache_dir),
+        "n_members": len(members),
+        "skipped": len(previously_done),
+        "done": 0,
+        "failed": 0,
+        "prewarmed": 0,
+    }
+
+    with SweepManifest(manifest_path, append=append) as manifest:
+        manifest.header(
+            sweep_name=sweep.name,
+            sweep_sha256=sweep_sha,
+            n_members=len(members),
+            cache_dir=str(cache_dir),
+            workers=workers,
+            resumed=append,
+        )
+        if append:
+            log(
+                f"resuming: {len(previously_done)} member(s) already done, "
+                f"{len(pending)} to run"
+            )
+
+        # -- prewarm: pay preprocessing once, in the parent ---------------
+        cache = PreprocessingCache(cache_dir)
+        seen_signatures: set[str] = set()
+        for member in pending:
+            sig = preprocessing_signature(member.spec)
+            if sig in seen_signatures:
+                continue
+            seen_signatures.add(sig)
+            if cache.is_warm(member.spec):
+                continue
+            warm_start = time.perf_counter()
+            stats = warm_preprocessing(member.spec, cache)
+            manifest.prewarm(
+                signature=sig,
+                member=member.member_id,
+                wall_s=time.perf_counter() - warm_start,
+                cache=stats,
+            )
+            tally["prewarmed"] += 1
+            log(f"prewarmed preprocessing signature {sig} (member {member.member_id})")
+
+        tracker = _MemberTracker(manifest, out_dir, retries, log)
+        if not pending:
+            log("nothing to run: every member is already done")
+        elif workers <= 0:
+            _run_inline(pending, run_specs, members_root, cache, tracker)
+        else:
+            _run_pool(
+                pending, run_specs, members_root, cache_dir,
+                min(workers, len(pending)), tracker,
+            )
+        tally["done"] = tracker.done
+        tally["failed"] = tracker.failed
+        tally["wall_s"] = time.perf_counter() - started_at
+        manifest.final(
+            {k: tally[k] for k in
+             ("sweep", "n_members", "skipped", "done", "failed", "prewarmed", "wall_s")}
+        )
+    return tally
+
+
+def _run_inline(pending, run_specs, members_root: Path, cache, tracker) -> None:
+    for member in pending:
+        run_spec = run_specs[member.member_id]
+        member_dir = members_root / member.member_id
+        attempt = 1
+        while True:
+            tracker.started(member, attempt, run_spec)
+            _maybe_kill(member.member_id)
+            try:
+                row = _run_member(run_spec, member_dir, cache)
+            except Exception:
+                if tracker.errored(member, attempt, traceback.format_exc(limit=20)):
+                    attempt += 1
+                    continue
+                break
+            tracker.finished(member, attempt, row, run_spec)
+            break
+
+
+def _run_pool(pending, run_specs, members_root: Path, cache_dir: Path,
+              n_workers: int, tracker) -> None:
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    task_queue = ctx.Queue()
+    result_queue = ctx.Queue()
+    parent_pid = os.getpid()
+
+    def spawn():
+        worker = ctx.Process(
+            target=_worker_main,
+            args=(task_queue, result_queue, str(cache_dir), parent_pid),
+        )
+        worker.start()
+        return worker
+
+    by_id = {member.member_id: member for member in pending}
+    tasks = {
+        member.member_id: (
+            member.member_id,
+            run_specs[member.member_id].to_dict(),
+            str(members_root / member.member_id),
+            1,
+        )
+        for member in pending
+    }
+    outstanding = set(tasks)
+    for task in tasks.values():
+        task_queue.put(task)
+    pool = [spawn() for _ in range(n_workers)]
+    claimed: dict[int, tuple[str, int]] = {}  # worker pid -> (member, attempt)
+
+    def requeue(member_id: str, attempt: int) -> None:
+        base = tasks[member_id]
+        task_queue.put((base[0], base[1], base[2], attempt + 1))
+
+    try:
+        while outstanding:
+            try:
+                message = result_queue.get(timeout=0.25)
+            except queue_module.Empty:
+                # liveness sweep: a crashed worker orphans its claimed
+                # member -- retry it and keep the pool at full strength
+                for i, worker in enumerate(pool):
+                    if worker.is_alive():
+                        continue
+                    pid = worker.pid
+                    if pid in claimed:
+                        member_id, attempt = claimed.pop(pid)
+                        if member_id in outstanding:
+                            error = f"worker crashed (exit code {worker.exitcode})"
+                            if tracker.errored(by_id[member_id], attempt, error):
+                                requeue(member_id, attempt)
+                            else:
+                                outstanding.discard(member_id)
+                    pool[i] = spawn()
+                continue
+            kind, member_id, pid, attempt = message[:4]
+            if kind == "claimed":
+                claimed[pid] = (member_id, attempt)
+                tracker.started(by_id[member_id], attempt, run_specs[member_id])
+            elif kind == "done":
+                claimed.pop(pid, None)
+                if member_id in outstanding:
+                    tracker.finished(
+                        by_id[member_id], attempt, message[4], run_specs[member_id]
+                    )
+                    outstanding.discard(member_id)
+            elif kind == "failed":
+                claimed.pop(pid, None)
+                if member_id in outstanding:
+                    if tracker.errored(by_id[member_id], attempt, message[4]):
+                        requeue(member_id, attempt)
+                    else:
+                        outstanding.discard(member_id)
+    finally:
+        for _ in pool:
+            task_queue.put(None)
+        deadline = time.monotonic() + 10.0
+        for worker in pool:
+            worker.join(timeout=max(0.1, deadline - time.monotonic()))
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=2.0)
+        task_queue.close()
+        result_queue.close()

@@ -1,0 +1,281 @@
+"""End-to-end tests of the sweep service: manifest, cache proof, crashes.
+
+The headline guarantees are tested for real: a 4-member shared-mesh sweep
+pays preprocessing exactly once (the manifest's hit/miss counters prove
+it), member results are bit-identical to a standalone ``repro run`` of the
+same expanded spec, a worker SIGKILLed mid-member is retried and the sweep
+still completes, and a sweep whose *parent* is SIGKILLed mid-flight leaves
+a partial manifest that resumes without re-running finished members.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.observability import build_report, expand_report_paths, render_report
+from repro.scenarios import get_scenario
+from repro.scenarios.cli import main as cli_main
+from repro.scenarios.outputs import write_outputs
+from repro.scenarios.runner import make_runner
+from repro.sweep import (
+    SweepAxis,
+    SweepSpec,
+    manifest_member_paths,
+    manifest_state,
+    read_manifest,
+    run_sweep,
+    validate_manifest,
+)
+from repro.sweep.orchestrator import KILL_ENV, preprocessing_signature
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+LOCATIONS = [
+    [0.0, 0.0, -1000.0],
+    [500.0, 0.0, -1000.0],
+    [0.0, 500.0, -1000.0],
+    [250.0, 250.0, -500.0],
+]
+
+
+def tiny_sweep(n=4, **overrides):
+    base = get_scenario(
+        "loh3", extent_m=4000.0, characteristic_length=2000.0, n_mechanisms=1
+    ).with_overrides(order=2, n_clusters=2, lam=0.8, n_cycles=2, **overrides)
+    return SweepSpec(
+        base=base,
+        axes=[SweepAxis(path="source.location", values=LOCATIONS[:n])],
+        name="tiny-source-sweep",
+    )
+
+
+@pytest.fixture(scope="module")
+def inline_sweep(tmp_path_factory):
+    """One 4-member inline sweep shared (read-only) by the fast tests."""
+    out_dir = tmp_path_factory.mktemp("sweep")
+    sweep = tiny_sweep()
+    tally = run_sweep(sweep, out_dir, workers=0)
+    return sweep, out_dir, tally
+
+
+class TestInlineSweep:
+    def test_tally(self, inline_sweep):
+        _, _, tally = inline_sweep
+        assert tally["n_members"] == 4
+        assert tally["done"] == 4
+        assert tally["failed"] == 0
+        assert tally["skipped"] == 0
+
+    def test_manifest_validates_complete(self, inline_sweep):
+        _, out_dir, _ = inline_sweep
+        report = validate_manifest(out_dir / "manifest.jsonl")
+        assert report["complete"]
+        assert report["members"] == {"done": 4}
+        assert report["records"] == {"header": 1, "prewarm": 1, "member": 8,
+                                     "final": 1}
+
+    def test_preprocessing_paid_exactly_once(self, inline_sweep):
+        """The manifest counters prove the shared mesh was built once."""
+        sweep, out_dir, tally = inline_sweep
+        assert tally["prewarmed"] == 1  # all 4 members share one signature
+        signatures = {preprocessing_signature(m.spec) for m in sweep.expand()}
+        assert len(signatures) == 1
+
+        records = read_manifest(out_dir / "manifest.jsonl")
+        prewarms = [r for r in records if r["record"] == "prewarm"]
+        assert len(prewarms) == 1
+        assert any(c["misses"] > 0 for c in prewarms[0]["cache"].values())
+
+        done = [r for r in records
+                if r["record"] == "member" and r["status"] == "done"]
+        assert len(done) == 4
+        for row in done:
+            # every member ran against a warm cache: pure hits, zero misses
+            assert row["cache"], row["member"]
+            for stage, counters in row["cache"].items():
+                assert counters["misses"] == 0, (row["member"], stage)
+                assert counters["hits"] > 0, (row["member"], stage)
+
+    def test_member_artifacts_on_disk(self, inline_sweep):
+        _, out_dir, _ = inline_sweep
+        for member_id in ("0000", "0001", "0002", "0003"):
+            member_dir = out_dir / "members" / member_id
+            assert (member_dir / "run_summary.json").exists()
+            assert (member_dir / "run.jsonl").exists()  # events on by default
+
+    def test_member_bit_identical_to_standalone_run(self, inline_sweep, tmp_path):
+        sweep, out_dir, _ = inline_sweep
+        member = sweep.expand()[1]
+        runner = make_runner(member.spec)
+        summary = runner.run()
+        write_outputs(runner, tmp_path, summary=summary)
+
+        member_dir = out_dir / "members" / member.member_id
+        sweep_summary = json.loads((member_dir / "run_summary.json").read_text())
+        for key in ("t_end", "element_updates", "lambda", "n_clusters",
+                    "n_elements"):
+            assert sweep_summary[key] == summary[key], key
+        csvs = sorted(p.name for p in tmp_path.glob("*.csv"))
+        assert csvs
+        for name in csvs:
+            assert (member_dir / name).read_bytes() == (tmp_path / name).read_bytes()
+
+    def test_resume_of_complete_sweep_skips_everything(self, inline_sweep, tmp_path):
+        sweep, out_dir, _ = inline_sweep
+        clone = tmp_path / "clone"
+        shutil.copytree(out_dir, clone)
+        tally = run_sweep(sweep, clone, workers=0, resume=True)
+        assert tally["skipped"] == 4
+        assert tally["done"] == 0
+        assert tally["prewarmed"] == 0
+
+    def test_resume_refuses_a_different_sweep(self, inline_sweep, tmp_path):
+        _, out_dir, _ = inline_sweep
+        clone = tmp_path / "clone"
+        shutil.copytree(out_dir, clone)
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(tiny_sweep(n=3), clone, workers=0, resume=True)
+
+    def test_resume_requeues_only_unfinished_members(self, inline_sweep, tmp_path):
+        """Drop 0003's ``done`` row (leaving it in-flight ``started``): a
+        resume must re-run 0003 and nothing else."""
+        sweep, out_dir, _ = inline_sweep
+        clone = tmp_path / "clone"
+        shutil.copytree(out_dir, clone)
+        manifest = clone / "manifest.jsonl"
+        kept = [
+            line for line in manifest.read_text().splitlines()
+            if not (
+                '"member": "0003"' in line and '"status": "done"' in line
+                or '"record": "final"' in line
+            )
+        ]
+        manifest.write_text("\n".join(kept) + "\n")
+        shutil.rmtree(clone / "members" / "0003")
+        untouched = (clone / "members" / "0000" / "run.jsonl").read_bytes()
+
+        tally = run_sweep(sweep, clone, workers=0, resume=True)
+        assert tally["skipped"] == 3
+        assert tally["done"] == 1
+        assert tally["prewarmed"] == 0  # the copied cache is already warm
+        state = manifest_state(read_manifest(manifest))
+        assert {m: r["status"] for m, r in state.items()} == {
+            m: "done" for m in ("0000", "0001", "0002", "0003")
+        }
+        reran = [r for r in read_manifest(manifest)
+                 if r.get("record") == "member" and r.get("status") == "started"
+                 and r.get("attempt") == 1]
+        # 4 original starts + exactly one new one (0003)
+        assert len(reran) == 5
+        assert (clone / "members" / "0003" / "run_summary.json").exists()
+        assert (clone / "members" / "0000" / "run.jsonl").read_bytes() == untouched
+
+
+class TestReportIntegration:
+    def test_expand_report_paths(self, inline_sweep):
+        _, out_dir, _ = inline_sweep
+        manifest = out_dir / "manifest.jsonl"
+        expected = manifest_member_paths(manifest)
+        assert len(expected) == 4
+        assert expand_report_paths([str(manifest)]) == expected
+        assert expand_report_paths([str(out_dir)]) == expected  # via manifest
+        from_dir = expand_report_paths([str(out_dir / "members")])
+        assert sorted(Path(p).resolve() for p in from_dir) == sorted(
+            Path(p).resolve() for p in expected
+        )
+
+    def test_report_renders_comparison_table(self, inline_sweep):
+        _, out_dir, _ = inline_sweep
+        report = build_report(expand_report_paths([str(out_dir / "manifest.jsonl")]))
+        assert len(report["runs"]) == 4
+        text = render_report(report)
+        assert "== comparison" in text
+
+    def test_report_cli_accepts_manifest_and_dir(self, inline_sweep, capsys):
+        _, out_dir, _ = inline_sweep
+        assert cli_main(["report", str(out_dir / "manifest.jsonl")]) == 0
+        manifest_out = capsys.readouterr().out
+        assert "== comparison" in manifest_out
+        assert cli_main(["report", str(out_dir / "members")]) == 0
+        assert "== comparison" in capsys.readouterr().out
+
+
+class TestPoolAndCrashes:
+    def test_pool_sweep_with_worker_crash_retry(self, tmp_path, monkeypatch):
+        """A worker SIGKILLed right after claiming member 0001 (once, via
+        the flag file) must be detected, the member re-queued, and the
+        sweep must still complete with pure-hit cache counters."""
+        flag = tmp_path / "killed.flag"
+        monkeypatch.setenv(KILL_ENV, f"0001:{flag}")
+        sweep = tiny_sweep()
+        tally = run_sweep(sweep, tmp_path / "out", workers=2)
+        assert flag.exists()  # the kill really fired
+        assert tally["done"] == 4
+        assert tally["failed"] == 0
+
+        records = read_manifest(tmp_path / "out" / "manifest.jsonl")
+        by_status = {}
+        for record in records:
+            if record.get("record") == "member" and record["member"] == "0001":
+                by_status.setdefault(record["status"], []).append(record)
+        assert "requeued" in by_status
+        assert by_status["done"][-1]["attempt"] == 2
+        state = manifest_state(records)
+        assert all(state[m]["status"] == "done"
+                   for m in ("0000", "0001", "0002", "0003"))
+
+    def test_parent_sigkill_then_resume(self, tmp_path):
+        """Kill the whole sweep process -- no atexit, no finally -- while
+        member 0002 is in flight; the partial manifest must validate, and a
+        resumed sweep must re-run only the unfinished members."""
+        out_dir = tmp_path / "out"
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(tiny_sweep().to_json())
+        argv = [sys.executable, "-m", "repro", "sweep", "--spec", str(spec_path),
+                "--out", str(out_dir), "--workers", "0", "--quiet"]
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+
+        proc = subprocess.run(
+            argv, env={**env, KILL_ENV: "0002"},
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL, timeout=300,
+        )
+        assert proc.returncode != 0  # died by SIGKILL mid-sweep
+
+        manifest = out_dir / "manifest.jsonl"
+        partial = validate_manifest(manifest)
+        assert not partial["complete"]
+        assert partial["members"] == {"done": 2, "started": 1}
+        n_rows_before = len(read_manifest(manifest))
+        done_summaries = {
+            m: (out_dir / "members" / m / "run_summary.json").read_bytes()
+            for m in ("0000", "0001")
+        }
+
+        resumed = subprocess.run(
+            argv + ["--resume", "--json"], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        tally = json.loads(resumed.stdout)
+        assert tally["skipped"] == 2
+        assert tally["done"] == 2
+        assert tally["prewarmed"] == 0  # cache survived the kill too
+
+        final = validate_manifest(manifest)
+        assert final["complete"]
+        assert final["members"] == {"done": 4}
+        records = read_manifest(manifest)
+        # resume appended: its own header + 0002/0003 rows + final
+        assert len(records) > n_rows_before
+        headers = [r for r in records if r.get("record") == "header"]
+        assert [h["resumed"] for h in headers] == [False, True]
+        for member_id, payload in done_summaries.items():
+            path = out_dir / "members" / member_id / "run_summary.json"
+            assert path.read_bytes() == payload  # finished members untouched

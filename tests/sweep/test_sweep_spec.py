@@ -1,0 +1,121 @@
+"""SweepSpec: axis expansion, validation and the JSON round trip."""
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.sweep import SweepAxis, SweepSpec
+
+
+def tiny_base():
+    return get_scenario(
+        "loh3", extent_m=4000.0, characteristic_length=2000.0, n_mechanisms=1
+    ).with_overrides(order=2, n_clusters=2, lam=0.8, n_cycles=2)
+
+
+def source_axis(n=2):
+    locations = [[0.0, 0.0, -1000.0], [500.0, 0.0, -1000.0],
+                 [0.0, 500.0, -1000.0], [250.0, 250.0, -500.0]][:n]
+    return SweepAxis(path="source.location", values=locations)
+
+
+class TestExpansion:
+    def test_member_count_is_the_axis_product(self):
+        sweep = SweepSpec(
+            base=tiny_base(),
+            axes=[source_axis(3), SweepAxis(path="clustering.lam", values=[0.8, 1.0])],
+        )
+        assert sweep.n_members == 6
+        assert len(sweep.expand()) == 6
+
+    def test_last_axis_varies_fastest(self):
+        sweep = SweepSpec(
+            base=tiny_base(),
+            axes=[source_axis(2), SweepAxis(path="clustering.lam", values=[0.8, 1.0])],
+        )
+        lams = [m.overrides["clustering.lam"] for m in sweep.expand()]
+        assert lams == [0.8, 1.0, 0.8, 1.0]
+
+    def test_member_ids_are_zero_padded_and_ordered(self):
+        members = SweepSpec(base=tiny_base(), axes=[source_axis(4)]).expand()
+        assert [m.member_id for m in members] == ["0000", "0001", "0002", "0003"]
+        assert [m.index for m in members] == [0, 1, 2, 3]
+
+    def test_overrides_land_in_the_member_spec(self):
+        members = SweepSpec(base=tiny_base(), axes=[source_axis(2)]).expand()
+        assert members[1].spec.source.location == (500.0, 0.0, -1000.0)
+        assert members[0].spec.source.location == (0.0, 0.0, -1000.0)
+
+    def test_default_name_derives_from_base(self):
+        sweep = SweepSpec(base=tiny_base(), axes=[source_axis(2)])
+        assert sweep.name.endswith("-sweep")
+
+
+class TestValidation:
+    def test_needs_at_least_one_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            SweepSpec(base=tiny_base(), axes=[])
+
+    def test_axis_values_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="value"):
+            SweepAxis(path="clustering.lam", values=[])
+
+    def test_duplicate_axis_paths_rejected(self):
+        with pytest.raises(ValueError, match="[Dd]uplicate"):
+            SweepSpec(
+                base=tiny_base(),
+                axes=[
+                    SweepAxis(path="clustering.lam", values=[0.8]),
+                    SweepAxis(path="clustering.lam", values=[1.0]),
+                ],
+            )
+
+    def test_unknown_override_path_rejected(self):
+        with pytest.raises(ValueError, match="no_such_knob"):
+            SweepSpec(
+                base=tiny_base(),
+                axes=[SweepAxis(path="clustering.no_such_knob", values=[1, 2])],
+            )
+
+    def test_unknown_block_rejected(self):
+        with pytest.raises(ValueError, match="wibble"):
+            SweepSpec(base=tiny_base(), axes=[SweepAxis(path="wibble.x", values=[1])])
+
+    def test_invalid_member_value_names_the_member(self):
+        with pytest.raises(ValueError, match="member"):
+            SweepSpec(
+                base=tiny_base(),
+                axes=[SweepAxis(path="order", values=[2, -3])],
+            )
+
+    def test_free_form_params_paths_may_introduce_keys(self):
+        sweep = SweepSpec(
+            base=tiny_base(),
+            axes=[SweepAxis(path="source.time_function.params.frequency",
+                            values=[1.0, 2.0])],
+        )
+        members = sweep.expand()
+        assert members[1].spec.source.time_function.params["frequency"] == 2.0
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_expansion(self):
+        sweep = SweepSpec(
+            base=tiny_base(),
+            axes=[source_axis(2), SweepAxis(path="solver.precision",
+                                            values=["f64", "f32"])],
+            name="tiny-matrix",
+        )
+        rebuilt = SweepSpec.from_json(sweep.to_json())
+        assert rebuilt.to_dict() == sweep.to_dict()
+        assert rebuilt.name == "tiny-matrix"
+        originals, clones = sweep.expand(), rebuilt.expand()
+        assert [m.member_id for m in clones] == [m.member_id for m in originals]
+        assert [m.spec.to_dict() for m in clones] == [
+            m.spec.to_dict() for m in originals
+        ]
+
+    def test_format_version_is_checked(self):
+        data = SweepSpec(base=tiny_base(), axes=[source_axis(2)]).to_dict()
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format"):
+            SweepSpec.from_dict(data)
