@@ -14,6 +14,17 @@ Unlike the buffer/derivative scheme of Breuer et al. 2016 (ref. [15]) no time
 derivatives are ever communicated, which is what makes the scheme efficient
 for the anelastic wave equations where the derivatives carry no exploitable
 zero blocks.
+
+Storage layout: the buffers live in one ``(4, n_elements + 1, 9, B[, f])``
+block -- ``B1``, ``B2``, ``B3`` plus the precomputed second-half integral
+``B1 - B2`` -- with a trailing all-zero ghost row per buffer.  A correction's
+neighbour gather then reduces to a single fancy-index read (relation code and
+neighbour id combine into one flat row index, boundary faces hit the ghost
+row), instead of a zero-fill plus three boolean-masked scatter passes; with a
+fused trailing axis the gathered rows are F times wider and the scatter
+passes dominated the correction phase.  The second-half buffer is filled from
+the same ``full``/``half`` integrals a reader would subtract, so the gathered
+values are bit-identical to the three-buffer formulation.
 """
 
 from __future__ import annotations
@@ -30,6 +41,9 @@ _REFERENCE = ReferenceBackend()
 #: relation codes of a face neighbour's cluster w.r.t. the element's cluster
 SAME, SMALLER, LARGER, BOUNDARY = 0, -1, 1, -2
 
+#: store rows: B1, B2, B3 and the precomputed second-half integral B1 - B2
+_B1, _B2, _B3, _B1M2 = 0, 1, 2, 3
+
 
 class LtsBuffers:
     """Buffer storage and the buffer update/read rules of the LTS scheme."""
@@ -37,13 +51,65 @@ class LtsBuffers:
     def __init__(self, disc: Discretization, n_fused: int = 0, dtype=None):
         if dtype is None:
             dtype = getattr(disc, "dtype", np.float64)
-        shape: tuple[int, ...] = (disc.n_elements, N_ELASTIC, disc.n_basis)
+        shape: tuple[int, ...] = (N_ELASTIC, disc.n_basis)
         if n_fused > 0:
             shape = shape + (n_fused,)
-        self.b1 = np.zeros(shape, dtype=dtype)
-        self.b2 = np.zeros(shape, dtype=dtype)
-        self.b3 = np.zeros(shape, dtype=dtype)
+        self._n_elements = disc.n_elements
+        #: row n_elements of every buffer is an all-zero ghost row that
+        #: boundary faces gather from; fill() never writes it
+        self._store = np.zeros((4, disc.n_elements + 1) + shape, dtype=dtype)
+        self._flat = self._store.reshape((4 * (disc.n_elements + 1),) + shape)
 
+    # ------------------------------------------------------------------
+    # the public three-buffer view (checkpoint/exchange paths assign these);
+    # the views are read-only because an in-place write through them would
+    # silently stale the precomputed ``B1 - B2`` row -- mutate via ``fill``
+    # or whole-buffer assignment (``buffers.b1 = ...``)
+    # ------------------------------------------------------------------
+    def _view(self, row: int) -> np.ndarray:
+        view = self._store[row, : self._n_elements]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def b1(self) -> np.ndarray:
+        return self._view(_B1)
+
+    @b1.setter
+    def b1(self, value) -> None:
+        self._store[_B1, : self._n_elements] = value
+        self._refresh_second_half()
+
+    @property
+    def b2(self) -> np.ndarray:
+        return self._view(_B2)
+
+    @b2.setter
+    def b2(self, value) -> None:
+        self._store[_B2, : self._n_elements] = value
+        self._refresh_second_half()
+
+    @property
+    def b3(self) -> np.ndarray:
+        return self._view(_B3)
+
+    @b3.setter
+    def b3(self, value) -> None:
+        self._store[_B3, : self._n_elements] = value
+
+    def _refresh_second_half(self) -> None:
+        """Re-establish ``store[B1M2] == b1 - b2`` after a bulk assignment.
+
+        ``b1 - b2`` on restored arrays is elementwise over the exact stored
+        values, so the invariant reproduces what a read-time subtraction
+        would have computed, bit for bit.
+        """
+        n = self._n_elements
+        np.subtract(
+            self._store[_B1, :n], self._store[_B2, :n], out=self._store[_B1M2, :n]
+        )
+
+    # ------------------------------------------------------------------
     def fill(
         self,
         elements: np.ndarray,
@@ -90,14 +156,21 @@ class LtsBuffers:
                 elastic_derivatives, 0.0, dt, ws=ws, key="b_full"
             )
         if needs_half:
-            self.b2[elements] = backend.time_integrate(
+            half = backend.time_integrate(
                 elastic_derivatives, 0.0, 0.5 * dt, ws=ws, key="b_half"
             )
-        self.b1[elements] = full
+            self._store[_B2, elements] = half
+            # the second-half integral a smaller-step neighbour's odd
+            # sub-step reads; ``full - half`` here equals the read-time
+            # ``b1 - b2`` bitwise (same stored operands, same subtraction);
+            # ``half`` is integration scratch, safe to overwrite in place
+            np.subtract(full, half, out=half)
+            self._store[_B1M2, elements] = half
+        self._store[_B1, elements] = full
         if step_index % 2 == 0:
-            self.b3[elements] = full
+            self._store[_B3, elements] = full
         else:
-            self.b3[elements] += full
+            self._store[_B3, elements] += full
 
     def neighbor_data(
         self,
@@ -131,21 +204,14 @@ class LtsBuffers:
             (they are replaced by ghost data downstream).
         """
         del elements  # the gather works purely on the neighbour ids
-        safe = np.maximum(neighbors, 0)
-        out = np.zeros((neighbors.shape[0], 4) + self.b1.shape[1:], dtype=self.b1.dtype)
-
-        same = relations == SAME
-        smaller = relations == SMALLER
-        larger = relations == LARGER
-
-        if np.any(same):
-            out[same] = self.b1[safe[same]]
-        if np.any(smaller):
-            # the faster neighbour accumulated its two sub-steps in B3
-            out[smaller] = self.b3[safe[smaller]]
-        if np.any(larger):
-            if step_index % 2 == 0:
-                out[larger] = self.b2[safe[larger]]
-            else:
-                out[larger] = self.b1[safe[larger]] - self.b2[safe[larger]]
-        return out
+        # relation -> store row: SAME reads B1, SMALLER reads B3 (the two
+        # accumulated sub-steps), LARGER reads B2 on an even local step and
+        # the precomputed B1 - B2 on an odd one; boundary faces read the
+        # all-zero ghost row (any store row works, B1 is used)
+        larger_row = _B2 if step_index % 2 == 0 else _B1M2
+        sel = np.where(relations == SMALLER, _B3, _B1)
+        sel = np.where(relations == LARGER, larger_row, sel)
+        ids = np.where(relations == BOUNDARY, self._n_elements, neighbors)
+        rows = (sel * (self._n_elements + 1) + ids).ravel()
+        gathered = self._flat[rows]
+        return gathered.reshape(neighbors.shape[:2] + gathered.shape[1:])

@@ -56,7 +56,9 @@ class GlobalTimeSteppingSolver:
     def _bind_source(self, source) -> DiscretePointSource:
         if isinstance(source, DiscretePointSource):
             return source
-        if isinstance(source, (MomentTensorSource, PointForceSource)):
+        if isinstance(source, (MomentTensorSource, PointForceSource, list, tuple)):
+            # a list/tuple is a fused per-slot source ensemble sharing one
+            # location; DiscretePointSource stacks it along the fused axis
             return DiscretePointSource(self.disc, source)
         raise TypeError(f"unsupported source type: {type(source)!r}")
 

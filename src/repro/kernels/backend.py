@@ -231,7 +231,8 @@ class _DiscData:
     """
 
     __slots__ = ("star_e_blocks", "star_a_velocity", "coupling_stress",
-                 "flux_a_velocity", "ftilde_flat", "k_time_rows", "k_time_sliced")
+                 "flux_a_velocity", "ftilde_flat", "k_time_rows", "k_time_sliced",
+                 "k_time_cat_t", "k_vol_cat_t", "fhat_flat")
 
     def __init__(self, disc):
         star_e = disc.star_elastic
@@ -262,6 +263,21 @@ class _DiscData:
             else:
                 self.k_time_rows.append(None)
                 self.k_time_sliced.append(disc.k_time[c])
+        # concatenated-and-transposed stiffness operators of the fast fused
+        # path: one (3 B, B) GEMM per CK/volume iteration instead of three
+        # B x B applications -- triples the GEMM rows per batch item, which
+        # amortizes the per-item dispatch cost the narrow fused column
+        # counts otherwise expose
+        self.k_time_cat_t = np.ascontiguousarray(
+            np.concatenate([disc.k_time[c].T for c in range(3)], axis=0)
+        )
+        self.k_vol_cat_t = np.ascontiguousarray(
+            np.concatenate([disc.k_vol[c].T for c in range(3)], axis=0)
+        )
+        # (4 F, B) flattened back-projection of the fast fused surface path
+        self.fhat_flat = np.ascontiguousarray(
+            disc.fhat.reshape(-1, disc.fhat.shape[2])
+        )
 
 
 def _elements_token(elements, ws=None):
@@ -334,6 +350,19 @@ class OptimizedBackend(ReferenceBackend):
             plan = np.einsum_path(subscripts, *operands, optimize="optimal")[0]
             self._plans[key] = plan
         return np.einsum(subscripts, *operands, out=out, optimize=plan)
+
+    def _basis_apply(self, x, matrix, out=None):
+        """``out[e, v, :, ...] = sum_b x[e, v, b, ...] @ matrix[b, :]``.
+
+        The shared right-multiply-by-an-operator pattern behind the
+        stiffness applications, the trace projection and the neighbour
+        flux back-projection; any fused trailing axis rides along.  The
+        optimized backend keeps the generic einsum (f64 stays on the
+        bit-exact unplanned kernel); the fast backend overrides this with
+        a GEMM that *folds* the fused axis into the matmul columns instead
+        of broadcasting over it.
+        """
+        return self._einsum("evb...,bd->evd...", x, matrix, out=out)
 
     @staticmethod
     def _scratch(ws, name, shape, dtype):
@@ -442,16 +471,20 @@ class OptimizedBackend(ReferenceBackend):
             an_common = self._scratch(ws, "ck_an_common", (E, 6, n_basis) + fused, dtype)
             neg_omegas = (-omegas).reshape((n_mech, 1, 1) + (1,) * len(fused))
 
+        # the zero-row slicing pays on scalar batches (fewer FLOPs, bit-safe)
+        # but on fused batches the fancy-index row gather of a strided
+        # (E, 9, rows, F) block costs more than the dropped zero products;
+        # the fast backend contracts the full matrices there instead
+        slice_rows = not (fused and self._plan_f64)
         for d in range(1, order):
             current = stack[d - 1]
             nxt = stack[d]
             elastic_prev = current[:, :N_ELASTIC]
             for c in range(3):
-                rows = data.k_time_rows[c]
-                self._einsum(
-                    "evb...,bd->evd...",
+                rows = data.k_time_rows[c] if slice_rows else None
+                self._basis_apply(
                     elastic_prev if rows is None else elastic_prev[:, :, rows],
-                    data.k_time_sliced[c],
+                    data.k_time_sliced[c] if slice_rows else disc.k_time[c],
                     out=tmp[c],
                 )
             self._star_elastic_apply(data, ops, tmp, nxt, ws, sign=-1.0)
@@ -553,7 +586,7 @@ class OptimizedBackend(ReferenceBackend):
         grouped = self._scratch(
             ws, "traces_grouped", (E, N_ELASTIC, 4 * n_face_basis) + fused, te.dtype
         )
-        self._einsum("evb...,bg->evg...", te, data.ftilde_flat, out=grouped)
+        self._basis_apply(te, data.ftilde_flat, out=grouped)
         out = self._scratch(
             ws, "traces", (E, 4, N_ELASTIC, n_face_basis) + fused, te.dtype
         )
@@ -578,7 +611,7 @@ class OptimizedBackend(ReferenceBackend):
 
         tmp = self._scratch(ws, "ck_tmp", (3, E, N_ELASTIC, n_basis) + fused, dtype)
         for c in range(3):
-            self._einsum("evb...,bd->evd...", te, k_vol[c], out=tmp[c])
+            self._basis_apply(te, k_vol[c], out=tmp[c])
         self._star_elastic_apply(data, ops, tmp, out, ws, sign=1.0)
         if n_mech:
             an_parts = self._scratch(ws, "ck_an", (3, E, 6, n_basis) + fused, dtype)
@@ -622,7 +655,7 @@ class OptimizedBackend(ReferenceBackend):
         )
         for i in range(4):
             self._einsum("evw,ewf...->evf...", flux_e[:, i], face_coeffs[:, i], out=solved[i])
-            self._einsum("evf...,fb->evb...", solved[i], fhat[i], out=contrib[i])
+            self._basis_apply(solved[i], fhat[i], out=contrib[i])
         elastic = out[:, :N_ELASTIC]
         elastic[...] = contrib[0]
         for i in (1, 2, 3):
@@ -641,7 +674,7 @@ class OptimizedBackend(ReferenceBackend):
             )
             for i in range(4):
                 self._einsum("evw,ewf...->evf...", flux_a[:, i], coeffs_a[:, i], out=solved_a[i])
-                self._einsum("evf...,fb->evb...", solved_a[i], fhat[i], out=contrib_a[i])
+                self._basis_apply(solved_a[i], fhat[i], out=contrib_a[i])
             scaled = self._scratch(ws, prefix + "_scaled", (E, 6, n_basis) + fused, dtype)
             for i in range(4):
                 for l in range(n_mech):
@@ -690,9 +723,7 @@ class OptimizedBackend(ReferenceBackend):
         out = self._scratch(ws, "nfc_out", own_traces.shape, own_traces.dtype)
         for i, (boundary, groups) in enumerate(plan):
             for u, rows in groups:
-                out[rows, i] = self._einsum(
-                    "evb...,bf->evf...", neighbor_te[rows, i], fbar[u]
-                )
+                out[rows, i] = self._basis_apply(neighbor_te[rows, i], fbar[u])
             if len(boundary):
                 out[boundary, i] = own_traces[boundary, i]
         return out
@@ -745,7 +776,38 @@ class FastBackend(OptimizedBackend):
         if operand.ndim > matrices.ndim:
             operand = operand.reshape(operand.shape[:batch] + (-1,))
             out = out.reshape(out.shape[:batch] + (-1,))
+        n = operand.shape[-1]
+        if n > 128:
+            # wide folded column counts fall off a serial-GEMM performance
+            # cliff (measured ~2.5x per column beyond ~128 columns for the
+            # small star/flux blocks); chunking the column axis keeps each
+            # GEMM on the fast path and is bitwise free -- every output
+            # column's accumulation over j is untouched
+            n_chunks = -(n // -128)
+            step = -(n // -n_chunks)
+            for start in range(0, n, step):
+                np.matmul(
+                    matrices,
+                    operand[..., start : start + step],
+                    out=out[..., start : start + step],
+                )
+            return
         np.matmul(matrices, operand, out=out)
+
+    def _basis_apply(self, x, matrix, out=None):
+        """Right-multiply by an operator as a GEMM with the fused axis folded.
+
+        Scalar batches run ``x @ matrix`` (a ``(V, B) @ (B, D)`` GEMM per
+        element).  Fused batches run ``matrix.T @ x``: broadcasting maps
+        ``(D, B) @ (E, V, B, F) -> (E, V, D, F)``, i.e. the fused axis
+        becomes the GEMM column axis -- one operator read shared by all F
+        fused runs per ``(e, v)`` batch, instead of the planned einsum's
+        broadcast (which re-reads the operator per slot and measures several
+        times slower at F >= 2).
+        """
+        if x.ndim == 3:
+            return np.matmul(x, matrix, out=out)
+        return np.matmul(matrix.T, x, out=out)
 
     def _star_elastic_apply(self, data, ops, tmp, out, ws, sign):
         """Fused ``out[:, :9] = sign * sum_c star[c] @ tmp[c]``."""
@@ -786,6 +848,102 @@ class FastBackend(OptimizedBackend):
         for l in range(n_mech):
             target += contrib[:, l]
 
+    def _stiffness_cat(self, cat_t, x, tmp_cat):
+        """All three directional stiffness applications as one wide GEMM.
+
+        ``cat_t`` is the ``(3 B, B)`` concatenation of the transposed
+        stiffness operators; the result lands in ``tmp_cat`` with layout
+        ``(E, 9, 3 B, F)`` and is returned as the ``(3, E, 9, B, F)`` view
+        the star/anelastic applications consume -- the view keeps the
+        ``(B, F)`` block of every batch item contiguous, so the downstream
+        folded GEMMs still run copy-free.
+        """
+        np.matmul(cat_t, x, out=tmp_cat)
+        E, n_vars, three_b = tmp_cat.shape[:3]
+        split = tmp_cat.reshape((E, n_vars, 3, three_b // 3) + tmp_cat.shape[3:])
+        return split.transpose((2, 0, 1, 3) + tuple(range(4, split.ndim)))
+
+    def compute_time_derivatives(self, disc, dofs, elements, ws=None):
+        """Fused batches run the CK loop on concatenated stiffness GEMMs."""
+        if isinstance(elements, slice):
+            batch_shape = dofs[elements].shape
+        else:
+            batch_shape = (len(elements),) + dofs.shape[1:]
+        fused = batch_shape[3:]
+        if not fused:
+            return super().compute_time_derivatives(disc, dofs, elements, ws)
+        order = disc.order
+        stack = self._scratch(ws, "derivs", (order,) + batch_shape, dofs.dtype)
+        stack[0] = dofs[elements]
+        derivatives = [stack[d] for d in range(order)]
+        if order == 1:
+            return derivatives
+
+        data, ops = self._volume_ops(disc, elements, ws)
+        n_mech = disc.n_mechanisms
+
+        E = batch_shape[0]
+        n_basis = disc.n_basis
+        dtype = dofs.dtype
+        tmp_cat = self._scratch(
+            ws, "ck_tmp_cat", (E, N_ELASTIC, 3 * n_basis) + fused, dtype
+        )
+        if n_mech:
+            an_parts = self._scratch(ws, "ck_an", (3, E, 6, n_basis) + fused, dtype)
+            an_common = self._scratch(ws, "ck_an_common", (E, 6, n_basis) + fused, dtype)
+            neg_omegas = (-disc.omegas).reshape((n_mech, 1, 1) + (1,) * len(fused))
+
+        for d in range(1, order):
+            current = stack[d - 1]
+            nxt = stack[d]
+            tmp = self._stiffness_cat(
+                data.k_time_cat_t, current[:, :N_ELASTIC], tmp_cat
+            )
+            self._star_elastic_apply(data, ops, tmp, nxt, ws, sign=-1.0)
+            if n_mech:
+                self._star_anelastic_apply(data, ops, tmp, an_parts, an_common)
+                mem_prev = current[:, N_ELASTIC:].reshape(
+                    (E, n_mech, 6, n_basis) + fused
+                )
+                self._coupling_apply(data, ops, mem_prev, nxt, ws)
+                mem_next = nxt[:, N_ELASTIC:].reshape((E, n_mech, 6, n_basis) + fused)
+                np.add(an_common[:, None], mem_prev, out=mem_next)
+                mem_next *= neg_omegas
+        return derivatives
+
+    def volume_kernel(self, disc, time_integrated, elements, ws=None):
+        """Fused batches run the volume kernel on a concatenated GEMM too."""
+        fused = time_integrated.shape[3:]
+        if not fused:
+            return super().volume_kernel(disc, time_integrated, elements, ws)
+        data, ops = self._volume_ops(disc, elements, ws)
+        omegas = disc.omegas
+        n_mech = disc.n_mechanisms
+
+        te = time_integrated[:, :N_ELASTIC]
+        E = time_integrated.shape[0]
+        n_basis = time_integrated.shape[2]
+        dtype = time_integrated.dtype
+        out = self._scratch(ws, "vol_out", time_integrated.shape, dtype)
+
+        tmp_cat = self._scratch(
+            ws, "ck_tmp_cat", (E, N_ELASTIC, 3 * n_basis) + fused, dtype
+        )
+        tmp = self._stiffness_cat(data.k_vol_cat_t, te, tmp_cat)
+        self._star_elastic_apply(data, ops, tmp, out, ws, sign=1.0)
+        if n_mech:
+            an_parts = self._scratch(ws, "ck_an", (3, E, 6, n_basis) + fused, dtype)
+            an_common = self._scratch(ws, "ck_an_common", (E, 6, n_basis) + fused, dtype)
+            self._star_anelastic_apply(data, ops, tmp, an_parts, an_common)
+            mem_te = time_integrated[:, N_ELASTIC:].reshape((E, n_mech, 6, n_basis) + fused)
+            self._coupling_apply(data, ops, mem_te, out, ws)
+            mem_out = out[:, N_ELASTIC:].reshape((E, n_mech, 6, n_basis) + fused)
+            np.subtract(an_common[:, None], mem_te, out=mem_out)
+            mem_out *= omegas.reshape((n_mech, 1, 1) + (1,) * len(fused))
+        else:
+            out[:, N_ELASTIC:] = 0.0
+        return out
+
     def _surface_kernel(self, disc, data, ops, face_coeffs, ws, prefix):
         """Surface kernels with fused per-face accumulation.
 
@@ -809,7 +967,7 @@ class FastBackend(OptimizedBackend):
             ws, prefix + "_fsolved", (E, 4, N_ELASTIC) + face_coeffs.shape[3:], dtype
         )
         self._bmm(ops["flux_e"], face_coeffs, solved)
-        self._einsum("eivf...,ifb->evb...", solved, fhat, out=out[:, :N_ELASTIC])
+        self._fhat_project(data, fhat, solved, out[:, :N_ELASTIC], ws, prefix)
 
         if n_mech:
             flux_a = ops["flux_a"]
@@ -823,11 +981,46 @@ class FastBackend(OptimizedBackend):
             common = self._scratch(
                 ws, prefix + "_fcommon", (E, 6, n_basis) + fused, dtype
             )
-            self._einsum("eivf...,ifb->evb...", solved_a, fhat, out=common)
+            self._fhat_project(data, fhat, solved_a, common, ws, prefix + "_a")
             for l in range(n_mech):
                 target = out[:, N_ELASTIC + 6 * l : N_ELASTIC + 6 * (l + 1)]
                 np.multiply(common, omegas[l], out=target)
         else:
             out[:, N_ELASTIC:] = 0.0
         return out
+
+    def _fhat_project(self, data, fhat, solved, out, ws, prefix):
+        """``out[e, v] = sum_{i, f} solved[e, i, v, f] @ fhat[i, f]``.
+
+        Scalar batches keep the fused ``(face, face_basis)`` einsum
+        contraction.  Fused batches regroup ``solved`` so the contraction
+        axes are innermost and run ONE flat ``(E V F, 4 f) @ (4 f, B)``
+        GEMM -- the planned einsum broadcasts the fused axis into many
+        narrow GEMMs plus internal transpose copies, which dominated the
+        fused surface kernels.
+        """
+        if solved.ndim == 4:  # no fused axis
+            self._einsum("eivf,ifb->evb", solved, fhat, out=out)
+            return
+        E, _, n_vars, n_face_basis, n_fused = solved.shape
+        n_basis = out.shape[2]
+        regrouped = self._scratch(
+            ws,
+            prefix + "_fhat_in",
+            (E, n_vars, n_fused, 4 * n_face_basis),
+            solved.dtype,
+        )
+        np.copyto(
+            regrouped.reshape(E, n_vars, n_fused, 4, n_face_basis),
+            solved.transpose(0, 2, 4, 1, 3),
+        )
+        projected = self._scratch(
+            ws, prefix + "_fhat_out", (E, n_vars, n_fused, n_basis), solved.dtype
+        )
+        np.matmul(
+            regrouped.reshape(-1, 4 * n_face_basis),
+            data.fhat_flat,
+            out=projected.reshape(-1, n_basis),
+        )
+        out[...] = projected.transpose(0, 1, 3, 2)
 

@@ -12,7 +12,12 @@ Typical use::
 or from the command line: ``python -m repro run loh3 --order 3``.
 """
 
-from .outputs import write_outputs, write_run_summary, write_seismograms
+from .outputs import (
+    write_fused_slot_seismograms,
+    write_outputs,
+    write_run_summary,
+    write_seismograms,
+)
 from .registry import (
     describe_scenario,
     get_scenario,
@@ -30,6 +35,7 @@ from .runner import (
 from .spec import (
     ClusteringSpec,
     DomainSpec,
+    FusedSourceSpec,
     InitialConditionSpec,
     MaterialSpec,
     MeshSpec,
@@ -51,6 +57,7 @@ __all__ = [
     "VelocityModelSpec",
     "MaterialSpec",
     "TimeFunctionSpec",
+    "FusedSourceSpec",
     "SourceSpec",
     "InitialConditionSpec",
     "ClusteringSpec",
@@ -68,6 +75,7 @@ __all__ = [
     "runner_class_for",
     "measure_update_cost",
     "write_seismograms",
+    "write_fused_slot_seismograms",
     "write_run_summary",
     "write_outputs",
 ]

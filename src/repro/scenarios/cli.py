@@ -18,6 +18,8 @@
     python -m repro sweep loh3 --smoke --out sweeps/lam --axis clustering.lam=0.7,0.8,0.9
     python -m repro sweep --spec sweep.json --out sweeps/x --workers 4
     python -m repro sweep --spec sweep.json --out sweeps/x --resume
+    python -m repro sweep loh3 --smoke --out sweeps/fused --fuse \
+        --axis 'source.time_function.params.t0=[0.3,0.4,0.5,0.6]'
     python -m repro report out/ gts_out/
     python -m repro report ref_out/ opt_out/ fast_out/ --json
     python -m repro report sweeps/loh3/manifest.jsonl
@@ -217,6 +219,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shared preprocessing cache directory "
                             "(default: <out>/cache; point several sweeps at "
                             "one directory to share artifacts across sweeps)")
+    sweep.add_argument("--fuse", action="store_true",
+                       help="collapse members that differ only in fusable "
+                            "source axes (time function, moment tensor, "
+                            "force vector) into single fused ensemble runs; "
+                            "per-member seismograms and summaries are "
+                            "demuxed back out of the fused slots, so the "
+                            "manifest, resume and 'repro report' stay "
+                            "per-member")
     sweep.add_argument("--resume", action="store_true",
                        help="resume from <out>/manifest.jsonl: members "
                             "already done are skipped, in-flight and failed "
@@ -493,6 +503,7 @@ def _cmd_sweep(args) -> int:
             resume=args.resume,
             events=args.events,
             retries=args.retries,
+            fuse=args.fuse,
             log=log,
         )
     except (ValueError, OSError) as error:
@@ -500,9 +511,14 @@ def _cmd_sweep(args) -> int:
     if args.json:
         print(json.dumps(tally, indent=2))
     elif not args.quiet:
+        fused = (
+            f" ({tally['fused_members']} member(s) in "
+            f"{tally['fused_groups']} fused group(s))"
+            if tally.get("fused_groups") else ""
+        )
         print(
             f"[{sweep.name}] {tally['done']} done, {tally['skipped']} skipped, "
-            f"{tally['failed']} failed in {tally['wall_s']:.1f} s; "
+            f"{tally['failed']} failed in {tally['wall_s']:.1f} s{fused}; "
             f"manifest -> {tally['manifest']}",
             file=sys.stderr,
         )

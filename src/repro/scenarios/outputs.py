@@ -12,7 +12,13 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["seismogram_header", "write_seismograms", "write_run_summary", "write_outputs"]
+__all__ = [
+    "seismogram_header",
+    "write_seismograms",
+    "write_fused_slot_seismograms",
+    "write_run_summary",
+    "write_outputs",
+]
 
 
 def _jsonable(value):
@@ -60,6 +66,38 @@ def write_seismograms(receivers, directory) -> list[Path]:
             flat = values.reshape(len(times), -1)
         else:
             flat = values.reshape(0, int(np.prod(values.shape[1:])) if values.ndim > 1 else 3)
+        header = seismogram_header(flat.shape[1])
+        path = directory / f"seismogram_{receiver.name}.csv"
+        table = np.column_stack([np.asarray(times, dtype=np.float64), flat])
+        np.savetxt(path, table, delimiter=",", header=header, comments="")
+        paths.append(path)
+    return paths
+
+
+def write_fused_slot_seismograms(receivers, directory, slot: int) -> list[Path]:
+    """Demux one fused slot into scalar ``seismogram_<name>.csv`` files.
+
+    Slices slot ``slot`` out of each receiver's ``(n, 3, F)`` recording and
+    routes the resulting ``(n, 3)`` table through exactly the scalar
+    formatting path, so a demuxed ref/f64 CSV is byte-identical to the CSV a
+    standalone run of that slot's source would write.  Unrecorded stations
+    keep the scalar-header empty-CSV form, like the scalar writer.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for receiver in receivers.receivers:
+        times, values = receiver.seismogram()
+        values = np.asarray(values, dtype=np.float64)
+        if len(times):
+            if values.ndim != 3:
+                raise ValueError(
+                    f"receiver {receiver.name!r} recorded a non-fused table "
+                    f"of shape {values.shape}; nothing to demux"
+                )
+            flat = values[:, :, slot].reshape(len(times), -1)
+        else:
+            flat = values.reshape(0, 3)
         header = seismogram_header(flat.shape[1])
         path = directory / f"seismogram_{receiver.name}.csv"
         table = np.column_stack([np.asarray(times, dtype=np.float64), flat])

@@ -660,6 +660,10 @@ class ScenarioRunner:
             "element_updates_per_s": updates / self.wall_s if self.wall_s > 0 else 0.0,
             "n_receivers": len(self.receivers) if self.receivers is not None else 0,
         }
+        if spec.source is not None and spec.source.fused:
+            # label the fused ensemble: slot f of every (..., F) output below
+            # belongs to this per-slot source
+            out["fused_sources"] = spec.source.slot_labels()
         if self.preprocessed is not None:
             out["n_partitions"] = int(self.preprocessed.partitions.max() + 1)
         # self-describing summaries: the sweep-manifest key set (git SHA,

@@ -34,6 +34,7 @@ __all__ = [
     "VelocityModelSpec",
     "MaterialSpec",
     "TimeFunctionSpec",
+    "FusedSourceSpec",
     "SourceSpec",
     "InitialConditionSpec",
     "ClusteringSpec",
@@ -237,14 +238,59 @@ class TimeFunctionSpec:
 
 
 @dataclass(frozen=True)
+class FusedSourceSpec:
+    """Per-slot source overrides for one slot of a fused ensemble.
+
+    Every field defaults to "inherit from the base source": ``moment_scale``
+    multiplies the base moment tensor (or force), ``time_function`` replaces
+    the base source time function (onset delays, centre frequencies, ...),
+    and ``moment_tensor``/``force`` replace the base mechanism outright.  The
+    slot's *location* is always the base location -- fused simulations share
+    one mesh and one source element.
+    """
+
+    moment_scale: float = 1.0
+    time_function: TimeFunctionSpec | None = None
+    moment_tensor: tuple[tuple[float, float, float], ...] | None = None
+    force: tuple[float, float, float] | None = None
+
+    def __post_init__(self) -> None:
+        import math
+
+        object.__setattr__(self, "moment_scale", float(self.moment_scale))
+        if not math.isfinite(self.moment_scale):
+            raise ValueError("fused slot moment_scale must be finite")
+        if isinstance(self.time_function, dict):
+            object.__setattr__(self, "time_function", TimeFunctionSpec(**self.time_function))
+        if self.moment_tensor is not None:
+            object.__setattr__(
+                self, "moment_tensor", tuple(_floats(row) for row in self.moment_tensor)
+            )
+            if len(self.moment_tensor) != 3 or any(len(r) != 3 for r in self.moment_tensor):
+                raise ValueError("fused slot moment tensor must be 3x3")
+        if self.force is not None:
+            object.__setattr__(self, "force", _floats(self.force))
+            if len(self.force) != 3:
+                raise ValueError("fused slot force must be a 3-vector")
+
+
+@dataclass(frozen=True)
 class SourceSpec:
-    """A kinematic point source: moment tensor or single force."""
+    """A kinematic point source: moment tensor or single force.
+
+    A non-empty ``fused`` block turns the source into a fused ensemble: slot
+    ``f`` of the fused run uses the base source with the per-slot overrides
+    of ``fused[f]`` applied (see :class:`FusedSourceSpec`).  The block length
+    must equal ``solver.n_fused`` (validated at the :class:`ScenarioSpec`
+    level).
+    """
 
     kind: str
     location: tuple[float, float, float]
     time_function: TimeFunctionSpec
     moment_tensor: tuple[tuple[float, float, float], ...] | None = None
     force: tuple[float, float, float] | None = None
+    fused: tuple[FusedSourceSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "location", _floats(self.location))
@@ -268,12 +314,83 @@ class SourceSpec:
             object.__setattr__(self, "force", _floats(self.force))
             if len(self.force) != 3:
                 raise ValueError("force must be a 3-vector")
+        object.__setattr__(
+            self,
+            "fused",
+            tuple(
+                s if isinstance(s, FusedSourceSpec) else FusedSourceSpec(**s)
+                for s in self.fused
+            ),
+        )
+        for slot in self.fused:
+            if self.kind == "moment_tensor" and slot.force is not None:
+                raise ValueError("fused slot of a moment_tensor source cannot override force")
+            if self.kind == "point_force" and slot.moment_tensor is not None:
+                raise ValueError(
+                    "fused slot of a point_force source cannot override moment_tensor"
+                )
+
+    def slot(self, index: int) -> "SourceSpec":
+        """The effective *scalar* source spec of fused slot ``index``.
+
+        This is the spec a standalone run of that slot's source would use;
+        slot-wise bit-identity tests compare against exactly this spec.
+        """
+        entry = self.fused[index]
+        time_function = (
+            entry.time_function if entry.time_function is not None else self.time_function
+        )
+        moment_tensor, force = self.moment_tensor, self.force
+        if self.kind == "moment_tensor":
+            if entry.moment_tensor is not None:
+                moment_tensor = entry.moment_tensor
+            if entry.moment_scale != 1.0:
+                moment_tensor = tuple(
+                    tuple(entry.moment_scale * v for v in row) for row in moment_tensor
+                )
+        else:
+            if entry.force is not None:
+                force = entry.force
+            if entry.moment_scale != 1.0:
+                force = tuple(entry.moment_scale * v for v in force)
+        return SourceSpec(
+            kind=self.kind,
+            location=self.location,
+            time_function=time_function,
+            moment_tensor=moment_tensor,
+            force=force,
+        )
+
+    def slot_labels(self) -> list[dict]:
+        """JSON-ready per-slot descriptors for run summaries and writers."""
+        labels = []
+        for f in range(len(self.fused)):
+            slot = self.slot(f)
+            label = {
+                "slot": f,
+                "kind": slot.kind,
+                "moment_scale": self.fused[f].moment_scale,
+                "time_function": {
+                    "kind": slot.time_function.kind,
+                    "params": slot.time_function.params,
+                },
+            }
+            if slot.kind == "moment_tensor":
+                label["moment_tensor"] = [list(row) for row in slot.moment_tensor]
+            else:
+                label["force"] = list(slot.force)
+            labels.append(label)
+        return labels
 
     def build(self):
         import numpy as np
 
         from ..source.moment_tensor import MomentTensorSource, PointForceSource
 
+        if self.fused:
+            # a fused ensemble builds one per-slot source list; the solver
+            # binds it as a single stacked DiscretePointSource
+            return [self.slot(f).build() for f in range(len(self.fused))]
         stf = self.time_function.build()
         if self.kind == "moment_tensor":
             return MomentTensorSource(
@@ -495,6 +612,12 @@ class ScenarioSpec:
                 raise ValueError(f"receiver {name!r} location must be a 3-vector")
         if self.source is None and self.initial_condition is None:
             raise ValueError("scenario needs a source or an initial condition")
+        if self.source is not None and self.source.fused:
+            if len(self.source.fused) != self.solver.n_fused:
+                raise ValueError(
+                    f"fused source block has {len(self.source.fused)} slot(s) "
+                    f"but solver.n_fused is {self.solver.n_fused}"
+                )
 
     # -- convenience accessors -----------------------------------------
     @property
@@ -509,7 +632,14 @@ class ScenarioSpec:
         return json.loads(self.to_json())
 
     def to_json(self, indent: int | None = None) -> str:
-        return json.dumps(asdict(self), indent=indent)
+        data = asdict(self)
+        source = data.get("source")
+        if source is not None and not source.get("fused"):
+            # scalar specs serialised before fused ensembles carry no
+            # 'fused' key; omit the empty block so old and new scalar
+            # serialisations stay identical (golden fixtures, ledgers)
+            source.pop("fused", None)
+        return json.dumps(data, indent=indent)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":

@@ -96,37 +96,85 @@ class DiscretePointSource:
     The density scaling of force sources (``1/rho``) and the delta-function
     scaling (``1/|J_k|`` and the basis evaluation at the source position) are
     precomputed; :meth:`inject` then only needs the time interval.
+
+    Passing a *sequence* of F sources sharing one location builds a fused
+    ensemble source: the per-slot spatial terms are precomputed as a single
+    ``(n_vars, B, F)`` injection stack, and :meth:`inject` applies the F
+    per-slot time-integral weights as one vectorized multiply-add (no Python
+    loop over fused slots).  Each slot's product uses exactly the operands of
+    the scalar path, so slot ``f`` of a fused run stays bit-identical to the
+    scalar run of source ``f``.
     """
 
-    def __init__(self, disc: Discretization, source: MomentTensorSource | PointForceSource):
-        self.source = source
+    def __init__(
+        self,
+        disc: Discretization,
+        source: MomentTensorSource | PointForceSource | list | tuple,
+    ):
+        sources = list(source) if isinstance(source, (list, tuple)) else [source]
+        if not sources:
+            raise ValueError("fused source list must not be empty")
+        self.fused = isinstance(source, (list, tuple))
+        self.sources = tuple(sources)
+        self.source = sources[0]
         mesh = disc.mesh
-        self.element = locate_point(mesh, source.location)
+        location = sources[0].location
+        for other in sources[1:]:
+            if not np.array_equal(other.location, location):
+                raise ValueError("fused sources must share one location")
+        self.element = locate_point(mesh, location)
         if self.element < 0:
             raise ValueError("source location is outside the mesh")
         xi = map_physical_to_reference(
-            mesh.vertices, mesh.elements, self.element, source.location
+            mesh.vertices, mesh.elements, self.element, location
         )[0]
         if xi.min() < -1e-6 or xi.sum() > 1.0 + 1e-6:
             raise ValueError("source location is outside the mesh")
         psi = disc.ref.basis.evaluate(xi[None, :])[0]  # (B,)
         # delta-function test integral: psi_b(xi_s) / |J_k|, times M^{-1} (identity)
         jac_det = mesh.geometry.determinants[self.element]
-        variable_vector = source.variable_vector().copy()
-        if isinstance(source, PointForceSource):
-            variable_vector[6:9] /= disc.materials.rho[self.element]
-        spatial = np.outer(variable_vector, psi) / jac_det  # (9, B)
-        full = np.zeros((disc.n_vars, disc.n_basis))
-        full[:9] = spatial
-        self._injection = full
-        self.time_function = source.time_function
+        slots = []
+        for s in sources:
+            variable_vector = s.variable_vector().copy()
+            if isinstance(s, PointForceSource):
+                variable_vector[6:9] /= disc.materials.rho[self.element]
+            spatial = np.outer(variable_vector, psi) / jac_det  # (9, B)
+            full = np.zeros((disc.n_vars, disc.n_basis))
+            full[:9] = spatial
+            slots.append(full)
+        if self.fused:
+            self._injection = np.stack(slots, axis=-1)  # (n_vars, B, F)
+        else:
+            self._injection = slots[0]  # (n_vars, B)
+        self.time_functions = tuple(s.time_function for s in sources)
+        self.time_function = self.time_functions[0]
+
+    @property
+    def n_fused(self) -> int:
+        """Fused ensemble width (0 for a plain scalar source)."""
+        return len(self.sources) if self.fused else 0
 
     def inject(self, dofs: np.ndarray, t_start: float, t_end: float) -> None:
         """Add the source contribution over ``[t_start, t_end]`` to the DOFs.
 
-        Works for single and fused DOF arrays (the same source is injected
-        into every fused simulation).
+        Scalar sources work for single and fused DOF arrays: a ``(..., F)``
+        DOF array receives the *same* contribution broadcast into every fused
+        slot (a replicated ensemble).  A fused source (built from a sequence
+        of per-slot sources) instead applies its ``(n_vars, B, F)`` injection
+        stack weighted by the per-slot time integrals, so each fused slot
+        receives its own distinct source.
         """
+        if self.fused:
+            if dofs.ndim != 4 or dofs.shape[-1] != len(self.sources):
+                raise ValueError(
+                    f"fused source of width {len(self.sources)} needs fused DOFs "
+                    f"with a matching trailing axis, got shape {dofs.shape}"
+                )
+            weights = np.array(
+                [tf.integral(t_start, t_end) for tf in self.time_functions]
+            )
+            dofs[self.element] += self._injection * weights
+            return
         weight = self.time_function.integral(t_start, t_end)
         contribution = weight * self._injection
         if dofs.ndim == 4:

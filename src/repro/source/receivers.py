@@ -49,7 +49,22 @@ class Receiver:
                 cast = basis.astype(coeffs.dtype)
                 self._basis_cast = cast
             basis = cast
-        value = np.einsum("vb...,b->v...", coeffs, basis)
+        if coeffs.ndim == 3:
+            # contract each fused slot through the scalar call on a
+            # contiguous copy: the strided one-shot einsum accumulates in a
+            # different order (a ~1-ulp drift), and demuxed fused seismograms
+            # must stay bit-identical to the scalar runs they collapse
+            value = np.stack(
+                [
+                    np.einsum(
+                        "vb...,b->v...", np.ascontiguousarray(coeffs[:, :, f]), basis
+                    )
+                    for f in range(coeffs.shape[-1])
+                ],
+                axis=-1,
+            )
+        else:
+            value = np.einsum("vb...,b->v...", coeffs, basis)
         self.times.append(time)
         self.samples.append(np.asarray(value))
 

@@ -1,8 +1,18 @@
 """The ensemble sweep service: parameter-axis expansion of a base
 :class:`~repro.scenarios.spec.ScenarioSpec`, a sharded worker pool over the
-content-addressed preprocessing cache, and a crash-durable JSONL manifest.
+content-addressed preprocessing cache, a crash-durable JSONL manifest, and
+(``--fuse``) collapse of members differing only in fusable source axes into
+single fused ensemble runs with per-member demux.
 """
 
+from .fuse import (
+    FUSABLE_SOURCE_FIELDS,
+    FusedGroup,
+    can_fuse,
+    collapse_members,
+    fusable_signature,
+    plan_fused_groups,
+)
 from .manifest import (
     MANIFEST_FORMAT_VERSION,
     SweepManifest,
@@ -25,4 +35,10 @@ __all__ = [
     "manifest_member_paths",
     "validate_manifest",
     "run_sweep",
+    "FUSABLE_SOURCE_FIELDS",
+    "FusedGroup",
+    "can_fuse",
+    "collapse_members",
+    "fusable_signature",
+    "plan_fused_groups",
 ]

@@ -13,6 +13,11 @@ the rest.
 preprocessing-cache hit/miss delta its run observed -- the counters that
 *prove* a shared-mesh ensemble paid mesh/operator/clustering cost once
 (prewarm records show the misses; member rows show pure hits).
+
+A ``--fuse`` sweep keeps one row per *member* even when several members ran
+as one collapsed fused ensemble; those rows additionally record the
+grouping (``fused_group`` / ``fused_slot`` / ``fused_width``), and the
+shared run's cache delta is carried once, on the slot-0 row.
 """
 
 from __future__ import annotations
@@ -49,7 +54,8 @@ class SweepManifest:
         self._handle.flush()
 
     def header(self, *, sweep_name: str, sweep_sha256: str, n_members: int,
-               cache_dir: str, workers: int, resumed: bool = False) -> None:
+               cache_dir: str, workers: int, resumed: bool = False,
+               fuse: bool = False) -> None:
         self._write(
             {
                 "record": "header",
@@ -60,6 +66,7 @@ class SweepManifest:
                 "cache_dir": str(cache_dir),
                 "workers": int(workers),
                 "resumed": bool(resumed),
+                "fuse": bool(fuse),
                 "written_at": time.time(),
             }
         )

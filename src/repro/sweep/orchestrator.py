@@ -23,6 +23,13 @@ is shared by everyone:
 
 ``workers=0`` runs every member inline in the parent (deterministic,
 single-process -- the mode the fast tests use).
+
+``fuse=True`` adds a collapse pass between expansion and sharding: members
+that differ only in fusable source axes (time function, moment tensor,
+force) run once as a single fused ensemble whose per-member artefacts are
+demuxed back out of the fused slots -- see :mod:`repro.sweep.fuse`.  The
+schedulable unit is then a *group*; manifest rows, resume decisions and
+``repro report`` stay per-member.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ import queue as queue_module
 import signal
 import time
 import traceback
+from dataclasses import dataclass
 from pathlib import Path
 
 from ..observability.events import spec_content_hash
@@ -48,6 +56,7 @@ from ..preprocessing.cache import (
 from ..scenarios.outputs import write_outputs
 from ..scenarios.runner import make_runner
 from ..scenarios.spec import ScenarioSpec
+from .fuse import plan_fused_groups, run_fused_group
 from .manifest import SweepManifest, is_sweep_manifest, manifest_state, read_manifest
 from .spec import SweepSpec
 
@@ -115,7 +124,12 @@ def _run_member(spec: ScenarioSpec, member_dir: Path, cache: PreprocessingCache)
 
 
 def _worker_main(task_queue, result_queue, cache_dir: str, parent_pid: int) -> None:
-    """Worker loop: pull members until the ``None`` sentinel (or orphaning)."""
+    """Worker loop: pull units until the ``None`` sentinel (or orphaning).
+
+    A task payload is either a plain spec dict (one member) or a
+    ``{"__fused__": {...}}`` envelope carrying a collapsed group's fused
+    spec plus its slot -> (member id, directory) mapping.
+    """
     cache = PreprocessingCache(cache_dir)
     while True:
         try:
@@ -128,24 +142,61 @@ def _worker_main(task_queue, result_queue, cache_dir: str, parent_pid: int) -> N
             continue
         if task is None:
             return
-        member_id, spec_dict, member_dir, attempt = task
-        result_queue.put(("claimed", member_id, os.getpid(), attempt))
-        _maybe_kill(member_id)
+        unit_id, payload, unit_dir, attempt = task
+        result_queue.put(("claimed", unit_id, os.getpid(), attempt))
+        _maybe_kill(unit_id)
         try:
-            row = _run_member(
-                ScenarioSpec.from_dict(spec_dict), Path(member_dir), cache
-            )
+            if "__fused__" in payload:
+                fused = payload["__fused__"]
+                row = run_fused_group(
+                    ScenarioSpec.from_dict(fused["spec"]),
+                    Path(unit_dir),
+                    fused["members"],
+                    cache,
+                )
+            else:
+                row = _run_member(
+                    ScenarioSpec.from_dict(payload), Path(unit_dir), cache
+                )
         except Exception:
             result_queue.put(
-                ("failed", member_id, os.getpid(), attempt,
+                ("failed", unit_id, os.getpid(), attempt,
                  traceback.format_exc(limit=20))
             )
         else:
-            result_queue.put(("done", member_id, os.getpid(), attempt, row))
+            result_queue.put(("done", unit_id, os.getpid(), attempt, row))
+
+
+@dataclass(frozen=True)
+class _Unit:
+    """One schedulable work item: a single member or a collapsed group.
+
+    ``members`` and ``member_dirs`` are parallel, in slot order; singles
+    have width 1 and ``fused=False``.  ``spec`` is the spec that actually
+    runs (events-instrumented; the fused spec for groups) while per-member
+    manifest identity comes from each member's own spec.
+    """
+
+    unit_id: str
+    spec: ScenarioSpec
+    dir: Path
+    members: tuple
+    member_dirs: tuple
+    fused: bool = False
+
+    @property
+    def width(self) -> int:
+        return len(self.members)
 
 
 class _MemberTracker:
-    """Parent-side bookkeeping: manifest rows, retries, the tally."""
+    """Parent-side bookkeeping: manifest rows, retries, the tally.
+
+    Rows are always per *member*: a fused unit fans every state transition
+    out to one row per absorbed member, tagged with its slot in the group
+    (``fused_group`` / ``fused_slot`` / ``fused_width``), so resume logic
+    and ``repro report`` never need to know about fusion.
+    """
 
     def __init__(self, manifest: SweepManifest, out_dir: Path, retries: int, log):
         self.manifest = manifest
@@ -155,50 +206,80 @@ class _MemberTracker:
         self.done = 0
         self.failed = 0
 
-    def started(self, member, attempt: int, run_spec: ScenarioSpec) -> None:
-        self.manifest.member(
-            member.member_id,
-            "started",
-            attempt=attempt,
-            index=member.index,
-            overrides=member.overrides,
-            spec_sha256=spec_content_hash(run_spec),
-            result_sha256=result_content_hash(run_spec),
-        )
+    def _identity(self, unit: _Unit, slot: int) -> dict:
+        member = unit.members[slot]
+        # singles are identified by the spec they actually run (with the
+        # ledger override); fused members by their own standalone spec --
+        # the identity their demuxed results are bit-identical to
+        spec = member.spec if unit.fused else unit.spec
+        fields = {
+            "index": member.index,
+            "overrides": member.overrides,
+            "spec_sha256": spec_content_hash(spec),
+            "result_sha256": result_content_hash(spec),
+        }
+        if unit.fused:
+            fields["fused_group"] = unit.unit_id
+            fields["fused_slot"] = slot
+            fields["fused_width"] = unit.width
+        return fields
 
-    def finished(self, member, attempt: int, row: dict, run_spec: ScenarioSpec) -> None:
-        row = dict(row)
-        # manifest rows stay valid when the output tree is moved/archived
-        row["summary_path"] = os.path.relpath(row["summary_path"], self.out_dir)
-        self.manifest.member(
-            member.member_id,
-            "done",
-            attempt=attempt,
-            index=member.index,
-            overrides=member.overrides,
-            spec_sha256=spec_content_hash(run_spec),
-            result_sha256=result_content_hash(run_spec),
-            **row,
-        )
-        self.done += 1
-        self.log(
-            f"member {member.member_id} done "
-            f"(wall {row['wall_s']:.2f}s, cache {row.get('cache') or 'cold'})"
-        )
-
-    def errored(self, member, attempt: int, error: str) -> bool:
-        """Handle a failed attempt; returns True when the member should requeue."""
-        if attempt <= self.retries:
+    def started(self, unit: _Unit, attempt: int) -> None:
+        for slot, member in enumerate(unit.members):
             self.manifest.member(
-                member.member_id, "requeued", attempt=attempt, error=error.strip()
+                member.member_id, "started", attempt=attempt,
+                **self._identity(unit, slot),
             )
-            self.log(f"member {member.member_id} attempt {attempt} failed; requeued")
+
+    def finished(self, unit: _Unit, attempt: int, row: dict) -> None:
+        member_rows = row.get("members") if unit.fused else None
+        shared = {k: row[k] for k in ("wall_s", "total_wall_s", "n_elements")}
+        for slot, member in enumerate(unit.members):
+            fields = dict(member_rows[member.member_id]) if unit.fused else dict(row)
+            # manifest rows stay valid when the output tree is moved/archived
+            fields["summary_path"] = os.path.relpath(
+                fields["summary_path"], self.out_dir
+            )
+            if unit.fused:
+                fields.update(shared)
+                # the cache delta belongs to the shared run; carried once,
+                # on slot 0, so per-member tallies never double-count it
+                if slot == 0:
+                    fields["cache"] = row.get("cache")
+            self.manifest.member(
+                member.member_id, "done", attempt=attempt,
+                **self._identity(unit, slot), **fields,
+            )
+            self.done += 1
+        if unit.fused:
+            self.log(
+                f"fused group {unit.unit_id} done ({unit.width} members, "
+                f"wall {row['wall_s']:.2f}s, cache {row.get('cache') or 'cold'})"
+            )
+        else:
+            self.log(
+                f"member {unit.unit_id} done "
+                f"(wall {row['wall_s']:.2f}s, cache {row.get('cache') or 'cold'})"
+            )
+
+    def errored(self, unit: _Unit, attempt: int, error: str) -> bool:
+        """Handle a failed attempt; returns True when the unit should requeue."""
+        label = f"fused group {unit.unit_id}" if unit.fused else f"member {unit.unit_id}"
+        if attempt <= self.retries:
+            for slot, member in enumerate(unit.members):
+                self.manifest.member(
+                    member.member_id, "requeued", attempt=attempt,
+                    error=error.strip(), **self._identity(unit, slot),
+                )
+            self.log(f"{label} attempt {attempt} failed; requeued")
             return True
-        self.manifest.member(
-            member.member_id, "failed", attempt=attempt, error=error.strip()
-        )
-        self.failed += 1
-        self.log(f"member {member.member_id} failed after {attempt} attempts")
+        for slot, member in enumerate(unit.members):
+            self.manifest.member(
+                member.member_id, "failed", attempt=attempt,
+                error=error.strip(), **self._identity(unit, slot),
+            )
+            self.failed += 1
+        self.log(f"{label} failed after {attempt} attempts")
         return False
 
 
@@ -211,6 +292,7 @@ def run_sweep(
     resume: bool = False,
     events: bool = True,
     retries: int = 1,
+    fuse: bool = False,
     log=None,
 ) -> dict:
     """Run (or resume) a sweep; returns the final tally.
@@ -224,6 +306,13 @@ def run_sweep(
     sweep definition (content-hash checked).  ``events`` gives every member
     a JSONL run ledger (``members/<id>/run.jsonl``).  ``workers=0`` runs
     inline in the parent.
+
+    ``fuse=True`` collapses members differing only in fusable source axes
+    into single fused ensemble runs (see :mod:`repro.sweep.fuse`): the
+    fused run's own artefacts land under ``fused/<group>/`` while every
+    absorbed member keeps its ``members/<id>/`` directory with demuxed
+    seismograms and a slot-annotated summary; fused members share one run
+    ledger (the group's), not per-member ledgers.
     """
     log = log or (lambda message: None)
     out_dir = Path(out_dir)
@@ -255,14 +344,50 @@ def run_sweep(
         append = True
 
     pending = [m for m in members if m.member_id not in previously_done]
-    run_specs = {}
-    for member in pending:
+
+    # -- plan units: singles, or (with fuse) collapsed groups + singles --
+    units: list[_Unit] = []
+    fused_groups = ()
+    if fuse:
+        fused_groups, singles = plan_fused_groups(pending)
+        for group in fused_groups:
+            group_dir = out_dir / "fused" / group.group_id
+            run_spec = (
+                group.spec.with_overrides(events=str(group_dir / "run.jsonl"))
+                if events
+                else group.spec
+            )
+            units.append(
+                _Unit(
+                    unit_id=group.group_id,
+                    spec=run_spec,
+                    dir=group_dir,
+                    members=group.members,
+                    member_dirs=tuple(
+                        members_root / m.member_id for m in group.members
+                    ),
+                    fused=True,
+                )
+            )
+    else:
+        singles = tuple(pending)
+    for member in singles:
         member_dir = members_root / member.member_id
-        run_specs[member.member_id] = (
+        run_spec = (
             member.spec.with_overrides(events=str(member_dir / "run.jsonl"))
             if events
             else member.spec
         )
+        units.append(
+            _Unit(
+                unit_id=member.member_id,
+                spec=run_spec,
+                dir=member_dir,
+                members=(member,),
+                member_dirs=(member_dir,),
+            )
+        )
+    units.sort(key=lambda unit: unit.members[0].index)
 
     tally = {
         "sweep": sweep.name,
@@ -275,6 +400,9 @@ def run_sweep(
         "failed": 0,
         "prewarmed": 0,
     }
+    if fuse:
+        tally["fused_groups"] = len(fused_groups)
+        tally["fused_members"] = sum(g.width for g in fused_groups)
 
     with SweepManifest(manifest_path, append=append) as manifest:
         manifest.header(
@@ -284,75 +412,114 @@ def run_sweep(
             cache_dir=str(cache_dir),
             workers=workers,
             resumed=append,
+            fuse=fuse,
         )
         if append:
             log(
                 f"resuming: {len(previously_done)} member(s) already done, "
                 f"{len(pending)} to run"
             )
+        if fuse and fused_groups:
+            log(
+                f"fuse: collapsed {tally['fused_members']} member(s) into "
+                f"{len(fused_groups)} fused group(s) "
+                f"({len(singles)} standalone)"
+            )
 
         # -- prewarm: pay preprocessing once, in the parent ---------------
+        # keyed on the *unit* specs (what actually runs); the fused spec
+        # shares every stage key with its members, so the signature set is
+        # identical to the unfused sweep's
         cache = PreprocessingCache(cache_dir)
         seen_signatures: set[str] = set()
-        for member in pending:
-            sig = preprocessing_signature(member.spec)
+        for unit in units:
+            sig = preprocessing_signature(unit.spec)
             if sig in seen_signatures:
                 continue
             seen_signatures.add(sig)
-            if cache.is_warm(member.spec):
+            if cache.is_warm(unit.spec):
                 continue
             warm_start = time.perf_counter()
-            stats = warm_preprocessing(member.spec, cache)
+            stats = warm_preprocessing(unit.spec, cache)
             manifest.prewarm(
                 signature=sig,
-                member=member.member_id,
+                member=unit.members[0].member_id,
                 wall_s=time.perf_counter() - warm_start,
                 cache=stats,
             )
             tally["prewarmed"] += 1
-            log(f"prewarmed preprocessing signature {sig} (member {member.member_id})")
+            log(
+                f"prewarmed preprocessing signature {sig} "
+                f"(member {unit.members[0].member_id})"
+            )
 
         tracker = _MemberTracker(manifest, out_dir, retries, log)
-        if not pending:
+        if not units:
             log("nothing to run: every member is already done")
         elif workers <= 0:
-            _run_inline(pending, run_specs, members_root, cache, tracker)
+            _run_inline(units, cache, tracker)
         else:
-            _run_pool(
-                pending, run_specs, members_root, cache_dir,
-                min(workers, len(pending)), tracker,
-            )
+            _run_pool(units, cache_dir, min(workers, len(units)), tracker)
         tally["done"] = tracker.done
         tally["failed"] = tracker.failed
         tally["wall_s"] = time.perf_counter() - started_at
-        manifest.final(
-            {k: tally[k] for k in
-             ("sweep", "n_members", "skipped", "done", "failed", "prewarmed", "wall_s")}
-        )
+        final_keys = [
+            "sweep", "n_members", "skipped", "done", "failed", "prewarmed", "wall_s",
+        ]
+        if fuse:
+            final_keys += ["fused_groups", "fused_members"]
+        manifest.final({k: tally[k] for k in final_keys})
     return tally
 
 
-def _run_inline(pending, run_specs, members_root: Path, cache, tracker) -> None:
-    for member in pending:
-        run_spec = run_specs[member.member_id]
-        member_dir = members_root / member.member_id
+def _run_unit(unit: _Unit, cache) -> dict:
+    """Run one unit in-process: a single member, or a fused group + demux."""
+    if not unit.fused:
+        return _run_member(unit.spec, unit.dir, cache)
+    return run_fused_group(
+        unit.spec,
+        unit.dir,
+        [
+            (member.member_id, directory)
+            for member, directory in zip(unit.members, unit.member_dirs)
+        ],
+        cache,
+    )
+
+
+def _unit_payload(unit: _Unit) -> dict:
+    """The picklable task payload ``_worker_main`` dispatches on."""
+    if not unit.fused:
+        return unit.spec.to_dict()
+    return {
+        "__fused__": {
+            "spec": unit.spec.to_dict(),
+            "members": [
+                [member.member_id, str(directory)]
+                for member, directory in zip(unit.members, unit.member_dirs)
+            ],
+        }
+    }
+
+
+def _run_inline(units, cache, tracker) -> None:
+    for unit in units:
         attempt = 1
         while True:
-            tracker.started(member, attempt, run_spec)
-            _maybe_kill(member.member_id)
+            tracker.started(unit, attempt)
+            _maybe_kill(unit.unit_id)
             try:
-                row = _run_member(run_spec, member_dir, cache)
+                row = _run_unit(unit, cache)
             except Exception:
-                if tracker.errored(member, attempt, traceback.format_exc(limit=20)):
+                if tracker.errored(unit, attempt, traceback.format_exc(limit=20)):
                     attempt += 1
                     continue
                 break
-            tracker.finished(member, attempt, row, run_spec)
+            tracker.finished(unit, attempt, row)
             break
 
 
-def _run_pool(pending, run_specs, members_root: Path, cache_dir: Path,
-              n_workers: int, tracker) -> None:
+def _run_pool(units, cache_dir: Path, n_workers: int, tracker) -> None:
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
     task_queue = ctx.Queue()
@@ -367,24 +534,19 @@ def _run_pool(pending, run_specs, members_root: Path, cache_dir: Path,
         worker.start()
         return worker
 
-    by_id = {member.member_id: member for member in pending}
+    by_id = {unit.unit_id: unit for unit in units}
     tasks = {
-        member.member_id: (
-            member.member_id,
-            run_specs[member.member_id].to_dict(),
-            str(members_root / member.member_id),
-            1,
-        )
-        for member in pending
+        unit.unit_id: (unit.unit_id, _unit_payload(unit), str(unit.dir), 1)
+        for unit in units
     }
     outstanding = set(tasks)
     for task in tasks.values():
         task_queue.put(task)
     pool = [spawn() for _ in range(n_workers)]
-    claimed: dict[int, tuple[str, int]] = {}  # worker pid -> (member, attempt)
+    claimed: dict[int, tuple[str, int]] = {}  # worker pid -> (unit, attempt)
 
-    def requeue(member_id: str, attempt: int) -> None:
-        base = tasks[member_id]
+    def requeue(unit_id: str, attempt: int) -> None:
+        base = tasks[unit_id]
         task_queue.put((base[0], base[1], base[2], attempt + 1))
 
     try:
@@ -393,39 +555,37 @@ def _run_pool(pending, run_specs, members_root: Path, cache_dir: Path,
                 message = result_queue.get(timeout=0.25)
             except queue_module.Empty:
                 # liveness sweep: a crashed worker orphans its claimed
-                # member -- retry it and keep the pool at full strength
+                # unit -- retry it and keep the pool at full strength
                 for i, worker in enumerate(pool):
                     if worker.is_alive():
                         continue
                     pid = worker.pid
                     if pid in claimed:
-                        member_id, attempt = claimed.pop(pid)
-                        if member_id in outstanding:
+                        unit_id, attempt = claimed.pop(pid)
+                        if unit_id in outstanding:
                             error = f"worker crashed (exit code {worker.exitcode})"
-                            if tracker.errored(by_id[member_id], attempt, error):
-                                requeue(member_id, attempt)
+                            if tracker.errored(by_id[unit_id], attempt, error):
+                                requeue(unit_id, attempt)
                             else:
-                                outstanding.discard(member_id)
+                                outstanding.discard(unit_id)
                     pool[i] = spawn()
                 continue
-            kind, member_id, pid, attempt = message[:4]
+            kind, unit_id, pid, attempt = message[:4]
             if kind == "claimed":
-                claimed[pid] = (member_id, attempt)
-                tracker.started(by_id[member_id], attempt, run_specs[member_id])
+                claimed[pid] = (unit_id, attempt)
+                tracker.started(by_id[unit_id], attempt)
             elif kind == "done":
                 claimed.pop(pid, None)
-                if member_id in outstanding:
-                    tracker.finished(
-                        by_id[member_id], attempt, message[4], run_specs[member_id]
-                    )
-                    outstanding.discard(member_id)
+                if unit_id in outstanding:
+                    tracker.finished(by_id[unit_id], attempt, message[4])
+                    outstanding.discard(unit_id)
             elif kind == "failed":
                 claimed.pop(pid, None)
-                if member_id in outstanding:
-                    if tracker.errored(by_id[member_id], attempt, message[4]):
-                        requeue(member_id, attempt)
+                if unit_id in outstanding:
+                    if tracker.errored(by_id[unit_id], attempt, message[4]):
+                        requeue(unit_id, attempt)
                     else:
-                        outstanding.discard(member_id)
+                        outstanding.discard(unit_id)
     finally:
         for _ in pool:
             task_queue.put(None)

@@ -88,6 +88,31 @@ GOLDEN_SCENARIOS = {
         ),
         time_function=dict(kind="gaussian_derivative", params={"sigma": 0.3, "t0": 0.8}),
     ),
+    # a fused width-2 ensemble with *distinct* per-slot sources on the LOH.3
+    # golden configuration: slot 0 is the plain golden source, slot 1 scales
+    # the moment down and retunes the wavelet -- the regression that the
+    # fused axis carries per-slot physics, not F copies of one run
+    "loh3_fused2": dict(
+        base="loh3",
+        factory=dict(
+            extent_m=6000.0,
+            characteristic_length=2000.0,
+            order=3,
+            n_mechanisms=3,
+            jitter=0.2,
+            lam=0.7,
+            n_clusters=2,
+            n_cycles=75,
+        ),
+        time_function=dict(kind="ricker", params={"f0": 2.5, "t0": 0.35}),
+        fused=[
+            dict(moment_scale=1.0),
+            dict(
+                moment_scale=0.6,
+                time_function=dict(kind="ricker", params={"f0": 2.0, "t0": 0.5}),
+            ),
+        ],
+    ),
 }
 
 #: peak-relative tolerance ladder, keyed by (kernels, precision)
@@ -105,6 +130,15 @@ SCENARIO_TOLERANCES: dict = {
     # the La Habra basin's low-velocity zone accumulates more f32 rounding
     # over a macro cycle than the stiffer LOH.3 layers
     "la_habra": {("ref", "f32"): 5e-3, ("opt", "f32"): 5e-3, ("fast", "f32"): 5e-3},
+    # the distinct-source fused golden pins the whole f64 ladder explicitly:
+    # ref/opt stay on the bit-identical floor per the slot-wise bit-identity
+    # contract (each fused slot IS the scalar run of that slot's source), and
+    # fast's folded-GEMM fused contractions are held to the scalar fast tier
+    "loh3_fused2": {
+        ("ref", "f64"): 1e-12,
+        ("opt", "f64"): 1e-12,
+        ("fast", "f64"): 1e-9,
+    },
 }
 
 
@@ -132,18 +166,28 @@ def golden_spec(name: str):
     from dataclasses import replace
 
     from ..scenarios.registry import get_scenario
-    from ..scenarios.spec import TimeFunctionSpec
+    from ..scenarios.spec import FusedSourceSpec, TimeFunctionSpec
 
     if name not in GOLDEN_SCENARIOS:
         known = ", ".join(sorted(GOLDEN_SCENARIOS))
         raise KeyError(f"no golden configuration for {name!r} (known: {known})")
     config = GOLDEN_SCENARIOS[name]
-    spec = get_scenario(name, **config["factory"])
+    spec = get_scenario(config.get("base", name), **config["factory"])
     time_function = config.get("time_function")
     if time_function is not None:
         spec = replace(
             spec, source=replace(spec.source, time_function=TimeFunctionSpec(**time_function))
         )
+    fused = config.get("fused")
+    if fused is not None:
+        slots = tuple(FusedSourceSpec(**slot) for slot in fused)
+        spec = replace(
+            spec,
+            source=replace(spec.source, fused=slots),
+            solver=replace(spec.solver, n_fused=len(slots)),
+        )
+    if config.get("base"):
+        spec = replace(spec, name=name)
     return spec.with_overrides(kernels="ref", precision="f64")
 
 
@@ -208,11 +252,14 @@ def compare_to_golden(
     """Re-run the frozen golden spec under a kernel mode and diff the traces.
 
     Returns a JSON-ready report with per-receiver peak-relative errors and
-    an overall ``passed`` flag against the tolerance ladder.  Fused runs
-    (``n_fused > 0``) replicate one physical simulation, so every ensemble
-    member is diffed against the same golden trace.  Raises on structural
-    mismatch (missing receivers, diverging sample counts) -- those are
-    never tolerance questions.
+    an overall ``passed`` flag against the tolerance ladder.  Fused runs of
+    a *scalar* golden (``n_fused > 0``) replicate one physical simulation,
+    so every ensemble member is diffed against the same golden trace; a
+    golden whose frozen spec is itself a fused ensemble (distinct per-slot
+    sources, e.g. ``loh3_fused2``) stores fused ``(n, 3, F)`` traces and is
+    diffed slot against slot.  Raises on structural mismatch (missing
+    receivers, diverging sample counts) -- those are never tolerance
+    questions.
     """
     from ..scenarios.runner import make_runner
     from ..scenarios.spec import ScenarioSpec
@@ -246,7 +293,10 @@ def compare_to_golden(
             raise ValueError(f"receiver {rec_name!r} sample times diverge from golden")
         peak = float(np.abs(ref_values).max())
         values = np.asarray(values, dtype=np.float64)
-        if values.ndim == 3:  # fused ensemble: every member vs the same golden
+        if values.ndim == 3 and ref_values.ndim == 2:
+            # replicated fused run of a scalar golden: every ensemble
+            # member is diffed against the same golden trace (distinct-source
+            # goldens store (n, 3, F) values and compare slot against slot)
             ref_values = ref_values[..., None]
         err = float(np.abs(values - ref_values).max())
         rel = err / peak if peak > 0.0 else err

@@ -74,3 +74,28 @@ def test_speedups_are_consistent_with_wall_clocks(path):
         if num_wall is None or den_wall is None:
             continue
         assert value == pytest.approx(num_wall / den_wall, rel=1e-9), key
+
+
+def test_fused_amortization_point_is_self_consistent():
+    """The fused-ensemble point carries per-F walls whose derived per-run
+    figures must match exactly -- and must actually show the amortization
+    the fused axis exists for (per-run wall strictly decreasing to F=4)."""
+    path = RESULTS_DIR / "BENCH_fused_amortization_loh3.json"
+    assert path.exists(), "the fused amortization point must stay committed"
+    payload = json.loads(path.read_text())
+    widths = payload["widths"]
+    assert widths == [1, 2, 4, 8]
+    assert payload["scalar_wall_s"] == payload["fused1_wall_s"]
+    per_run = {}
+    for width in widths:
+        wall = payload[f"fused{width}_wall_s"]
+        per_run[width] = payload[f"per_run_f{width}_wall_s"]
+        assert per_run[width] == pytest.approx(wall / width, rel=1e-12)
+        # one fused run advances element_updates elements for each of its
+        # F member runs, so the per-run throughput follows from the wall
+        assert payload[f"per_run_f{width}_element_updates_per_s"] == pytest.approx(
+            payload["element_updates"] * width / wall, rel=1e-12
+        )
+    assert per_run[2] < per_run[1], per_run
+    assert per_run[4] < per_run[2], per_run
+    assert per_run[8] < per_run[1], per_run

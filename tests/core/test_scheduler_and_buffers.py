@@ -84,9 +84,9 @@ class TestBufferAlgebra:
         disc = elastic_disc
         buffers = LtsBuffers(disc)
         rng = np.random.default_rng(1)
-        buffers.b1[:] = rng.normal(size=buffers.b1.shape)
-        buffers.b2[:] = rng.normal(size=buffers.b2.shape)
-        buffers.b3[:] = rng.normal(size=buffers.b3.shape)
+        buffers.b1 = rng.normal(size=buffers.b1.shape)
+        buffers.b2 = rng.normal(size=buffers.b2.shape)
+        buffers.b3 = rng.normal(size=buffers.b3.shape)
 
         elements = np.array([0])
         neighbors = np.array([[1, 2, 3, -1]])
@@ -100,6 +100,30 @@ class TestBufferAlgebra:
 
         odd = buffers.neighbor_data(elements, neighbors, relations, step_index=1)
         np.testing.assert_array_equal(odd[0, 2], buffers.b1[3] - buffers.b2[3])
+
+    def test_views_are_read_only(self, elastic_disc):
+        """In-place writes through the b1/b2/b3 views would silently stale
+        the precomputed second-half row; mutation goes through fill() or
+        whole-buffer assignment (the checkpoint/exchange path)."""
+        buffers = LtsBuffers(elastic_disc)
+        for name in ("b1", "b2", "b3"):
+            with pytest.raises(ValueError):
+                getattr(buffers, name)[0] = 1.0
+
+    def test_bulk_assignment_refreshes_second_half(self, elastic_disc):
+        """The restore path (``buffers.b1 = ...``) must re-establish the
+        B1 - B2 invariant the odd-step LARGER gather reads."""
+        buffers = LtsBuffers(elastic_disc)
+        rng = np.random.default_rng(2)
+        b1 = rng.normal(size=buffers.b1.shape)
+        b2 = rng.normal(size=buffers.b2.shape)
+        buffers.b1 = b1
+        buffers.b2 = b2
+        neighbors = np.array([[1, -1, -1, -1]])
+        relations = np.array([[LARGER, -2, -2, -2]])
+        odd = buffers.neighbor_data(np.array([0]), neighbors, relations, step_index=1)
+        np.testing.assert_array_equal(odd[0, 0], b1[1] - b2[1])
+        np.testing.assert_array_equal(odd[0, 1], 0.0)  # boundary ghost row
 
 
 class TestCommunicationVolumes:

@@ -66,7 +66,7 @@ class TestKernelToleranceParity:
         n_mechanisms = 3 if request.param == "viscoelastic" else 0
         return Discretization(mesh, table, order=4, n_mechanisms=n_mechanisms)
 
-    @pytest.mark.parametrize("n_fused", [0, 2])
+    @pytest.mark.parametrize("n_fused", [0, 2, 8])
     def test_local_update(self, disc, n_fused):
         ref, fast = ReferenceBackend(), FastBackend()
         ws = fast.make_workspace()
@@ -135,6 +135,87 @@ class TestKernelToleranceParity:
         )
         _assert_close(ti_f, ti_r, name="ti dense")
         _assert_close(delta_f, delta_r, name="delta dense")
+
+
+class TestFusedGemmFolding:
+    """The fused-axis GEMM machinery behind the batched fast kernels."""
+
+    @pytest.fixture(scope="class")
+    def disc(self):
+        mesh = small_mesh(n=2, jitter=0.1)
+        material = ViscoelasticMaterial(rho=2600.0, vp=4000.0, vs=2000.0, qp=120.0, qs=40.0)
+        table = MaterialTable.homogeneous(material, mesh.n_elements)
+        return Discretization(mesh, table, order=4, n_mechanisms=3)
+
+    def test_bmm_folds_fused_axis(self):
+        rng = np.random.default_rng(11)
+        matrices = rng.standard_normal((6, 9, 9))
+        operand = rng.standard_normal((6, 9, 20, 4))
+        out = np.empty((6, 9, 20, 4))
+        FastBackend._bmm(matrices, operand, out)
+        expected = np.einsum("eij,ejbf->eibf", matrices, operand)
+        _assert_close(out, expected, name="bmm fold")
+
+    def test_bmm_column_chunking_is_bitwise(self):
+        """Chunking the folded column axis must not change a single bit:
+        every output column's accumulation over j is untouched."""
+        rng = np.random.default_rng(12)
+        matrices = rng.standard_normal((3, 9, 9))
+        # folded width 20 * 8 = 160 > 128 engages the chunked path
+        operand = rng.standard_normal((3, 9, 20, 8))
+        chunked = np.empty((3, 9, 20, 8))
+        FastBackend._bmm(matrices, operand, chunked)
+        unchunked = np.matmul(
+            matrices, operand.reshape(3, 9, -1)
+        ).reshape(3, 9, 20, 8)
+        np.testing.assert_array_equal(chunked, unchunked)
+
+    def test_stiffness_cat_matches_per_direction_gemms(self, disc):
+        """The concatenated-stiffness single GEMM equals the three separate
+        per-direction contractions of the opt backend."""
+        fast = FastBackend()
+        data = fast._disc_data(disc)
+        rng = np.random.default_rng(13)
+        E, B, F = disc.n_elements, disc.n_basis, 4
+        x = rng.standard_normal((E, N_ELASTIC, B, F))
+        tmp_cat = np.empty((E, N_ELASTIC, 3 * B, F))
+        result = fast._stiffness_cat(data.k_time_cat_t, x, tmp_cat)
+        assert result.shape == (3, E, N_ELASTIC, B, F)
+        for c in range(3):
+            expected = np.einsum("bd,evbf->evdf", disc.k_time[c], x)
+            _assert_close(result[c], expected, name=f"k_time dir {c}")
+        # each direction's (B, F) block must stay contiguous for _bmm folds
+        assert result[0].strides[-2:] == (F * x.itemsize, x.itemsize)
+
+    def test_fhat_project_matches_reference_einsum(self, disc):
+        fast = FastBackend()
+        data = fast._disc_data(disc)
+        ws = fast.make_workspace()
+        rng = np.random.default_rng(14)
+        E, B, F = disc.n_elements, disc.n_basis, 3
+        n_face_basis = disc.fhat.shape[1]
+        solved = rng.standard_normal((E, 4, N_ELASTIC, n_face_basis, F))
+        out = np.empty((E, N_ELASTIC, B, F))
+        fast._fhat_project(data, disc.fhat, solved, out, ws, "t")
+        expected = np.einsum("eivgf,igb->evbf", solved, disc.fhat)
+        _assert_close(out, expected, name="fhat project")
+
+    def test_fused_and_scalar_slices_agree(self, disc):
+        """Fast fused kernels vs the same fast backend run slot-by-slot:
+        only tolerance-equal (the GEMM groupings differ), which is exactly
+        the fast contract."""
+        fast = FastBackend()
+        ws = fast.make_workspace()
+        dofs = _random_dofs(disc, n_fused=4, seed=15)
+        elements = np.arange(disc.n_elements)
+        dt = float(disc.time_steps.min())
+        delta_fused, ti_fused, _, _ = fast.local_update(disc, dofs, dt, elements, ws=ws)
+        for f in range(4):
+            delta_f, ti_f, _, _ = fast.local_update(
+                disc, np.ascontiguousarray(dofs[..., f]), dt, elements, ws=ws
+            )
+            _assert_close(delta_fused[..., f], delta_f, rtol=1e-11, name=f"slot {f}")
+            _assert_close(ti_fused[..., f], ti_f, rtol=1e-11, name=f"ti slot {f}")
 
 
 class TestSolverToleranceParity:

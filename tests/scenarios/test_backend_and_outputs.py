@@ -10,7 +10,11 @@ import pytest
 
 from repro.scenarios import ScenarioRunner, get_scenario
 from repro.scenarios.cli import build_parser, main as cli_main
-from repro.scenarios.outputs import seismogram_header, write_seismograms
+from repro.scenarios.outputs import (
+    seismogram_header,
+    write_fused_slot_seismograms,
+    write_seismograms,
+)
 from repro.scenarios.spec import ScenarioSpec, SolverSpec
 from repro.source.receivers import Receiver
 
@@ -191,6 +195,75 @@ class TestSeismogramHeaders:
             assert header == "time,vx_0,vx_1,vy_0,vy_1,vz_0,vz_1"
             table = np.loadtxt(path, delimiter=",", skiprows=1)
             assert table.shape[1] == 7
+
+
+class TestFusedSlotDemux:
+    """CSV demux of fused recordings into per-slot scalar seismograms."""
+
+    def _receiver(self, samples):
+        receiver = Receiver(name="r0", location=np.zeros(3), element=0)
+        for t, sample in enumerate(samples):
+            receiver.times.append(float(t))
+            receiver.samples.append(np.asarray(sample))
+        return receiver
+
+    def _shim(self, *receivers):
+        class Shim:
+            pass
+
+        shim = Shim()
+        shim.receivers = list(receivers)
+        return shim
+
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_demux_slices_each_slot_with_scalar_header(self, width, tmp_path):
+        rng = np.random.default_rng(width)
+        samples = [rng.normal(size=(3, width)) for _ in range(5)]
+        receivers = self._shim(self._receiver(samples))
+        for f in range(width):
+            out = tmp_path / f"slot{f}"
+            (path,) = write_fused_slot_seismograms(receivers, out, slot=f)
+            header, *rows = path.read_text().strip().splitlines()
+            assert header == "time,vx,vy,vz"
+            table = np.loadtxt(path, delimiter=",", skiprows=1)
+            expected = np.stack([s[:, f] for s in samples])
+            np.testing.assert_array_equal(table[:, 1:], expected)
+
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_demuxed_csv_byte_identical_to_scalar_writer(self, width, tmp_path):
+        """Each demuxed slot file must be the exact bytes the scalar writer
+        produces for that slot's samples (the --fuse demux contract)."""
+        rng = np.random.default_rng(7 + width)
+        samples = [rng.normal(size=(3, width)) for _ in range(4)]
+        fused = self._shim(self._receiver(samples))
+        for f in range(width):
+            (demuxed,) = write_fused_slot_seismograms(fused, tmp_path / f"d{f}", slot=f)
+            scalar = self._shim(self._receiver([s[:, f] for s in samples]))
+            (direct,) = write_seismograms(scalar, tmp_path / f"s{f}")
+            assert demuxed.read_bytes() == direct.read_bytes()
+
+    def test_unrecorded_station_keeps_scalar_header(self, tmp_path):
+        """A station never hit by a local step records nothing; both writers
+        emit the scalar-header empty CSV for it (no fused columns)."""
+        fused = self._shim(self._receiver([]))
+        (demuxed,) = write_fused_slot_seismograms(fused, tmp_path / "d", slot=1)
+        (direct,) = write_seismograms(fused, tmp_path / "s")
+        assert demuxed.read_text().strip() == "time,vx,vy,vz"
+        assert demuxed.read_bytes() == direct.read_bytes()
+
+    def test_mixed_recorded_and_unrecorded_stations(self, tmp_path):
+        rng = np.random.default_rng(3)
+        recorded = self._receiver([rng.normal(size=(3, 2)) for _ in range(3)])
+        silent = Receiver(name="r1", location=np.zeros(3), element=1)
+        paths = write_fused_slot_seismograms(self._shim(recorded, silent), tmp_path, slot=0)
+        assert [p.name for p in paths] == ["seismogram_r0.csv", "seismogram_r1.csv"]
+        assert paths[1].read_text().strip() == "time,vx,vy,vz"
+        assert len(paths[0].read_text().strip().splitlines()) == 4
+
+    def test_demux_of_scalar_recording_raises(self, tmp_path):
+        scalar = self._shim(self._receiver([np.arange(3.0) for _ in range(2)]))
+        with pytest.raises(ValueError, match="nothing to demux"):
+            write_fused_slot_seismograms(scalar, tmp_path, slot=0)
 
 
 class TestBenchHostMetadata:

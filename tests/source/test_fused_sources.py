@@ -1,0 +1,261 @@
+"""Fused ensemble sources: per-slot injection stacks, receiver demux and the
+fused-sources spec block.
+
+Slot ``f`` of a fused source must behave exactly like a standalone scalar
+source ``f`` (bit-identical injection), and receivers recording a fused run
+with genuinely distinct per-slot sources must show diverging per-slot traces
+-- otherwise the fused axis silently degenerates into a replicated ensemble.
+"""
+
+import numpy as np
+import pytest
+
+from repro.equations.material import ElasticMaterial, MaterialTable
+from repro.kernels.discretization import Discretization
+from repro.mesh.generation import box_mesh
+from repro.scenarios import FusedSourceSpec, ScenarioRunner, get_scenario
+from repro.scenarios.spec import ScenarioSpec, SourceSpec, TimeFunctionSpec
+from repro.source.moment_tensor import (
+    DiscretePointSource,
+    MomentTensorSource,
+    PointForceSource,
+)
+from repro.source.receivers import ReceiverSet
+from repro.source.time_functions import RickerWavelet
+
+
+@pytest.fixture(scope="module")
+def disc():
+    coords = np.linspace(0.0, 2000.0, 3)
+    mesh = box_mesh(coords, coords, coords, free_surface_top=False)
+    table = MaterialTable.homogeneous(ElasticMaterial(2700.0, 6000.0, 3464.0), mesh.n_elements)
+    return Discretization(mesh, table, order=3)
+
+
+LOCATION = np.array([500.0, 500.0, 500.0])
+
+
+def _slot_sources(n):
+    """n genuinely distinct moment-tensor sources sharing one location."""
+    return [
+        MomentTensorSource(
+            location=LOCATION,
+            moment_tensor=(1.0 - 0.1 * f) * 1e9 * np.eye(3),
+            time_function=RickerWavelet(f0=5.0, t0=0.1 + 0.02 * f),
+        )
+        for f in range(n)
+    ]
+
+
+class TestFusedDiscreteSource:
+    def test_injection_stack_shape_and_width(self, disc):
+        fused = DiscretePointSource(disc, _slot_sources(4))
+        assert fused.n_fused == 4
+        assert fused._injection.shape == (disc.n_vars, disc.n_basis, 4)
+
+    def test_scalar_source_reports_zero_width(self, disc):
+        scalar = DiscretePointSource(disc, _slot_sources(1)[0])
+        assert scalar.n_fused == 0
+        assert scalar._injection.shape == (disc.n_vars, disc.n_basis)
+
+    def test_slot_injection_bitwise_matches_scalar(self, disc):
+        """The load-bearing fused-source property: slot f's injected DOFs are
+        bit-identical to a standalone scalar injection of source f."""
+        sources = _slot_sources(4)
+        fused = DiscretePointSource(disc, sources)
+        dofs = disc.allocate_dofs(n_fused=4)
+        fused.inject(dofs, 0.0, 0.2)
+        for f, source in enumerate(sources):
+            scalar_dofs = disc.allocate_dofs()
+            DiscretePointSource(disc, source).inject(scalar_dofs, 0.0, 0.2)
+            np.testing.assert_array_equal(dofs[..., f], scalar_dofs)
+
+    def test_distinct_locations_raise(self, disc):
+        base = _slot_sources(1)[0]
+        moved = MomentTensorSource(
+            location=LOCATION + 100.0,
+            moment_tensor=1e9 * np.eye(3),
+            time_function=RickerWavelet(f0=5.0, t0=0.1),
+        )
+        with pytest.raises(ValueError, match="share one location"):
+            DiscretePointSource(disc, [base, moved])
+
+    def test_empty_fused_list_raises(self, disc):
+        with pytest.raises(ValueError, match="must not be empty"):
+            DiscretePointSource(disc, [])
+
+    def test_fused_source_requires_matching_dof_width(self, disc):
+        fused = DiscretePointSource(disc, _slot_sources(2))
+        with pytest.raises(ValueError, match="matching trailing axis"):
+            fused.inject(disc.allocate_dofs(), 0.0, 0.2)
+        with pytest.raises(ValueError, match="matching trailing axis"):
+            fused.inject(disc.allocate_dofs(n_fused=3), 0.0, 0.2)
+
+    def test_scalar_source_broadcasts_into_fused_dofs(self, disc):
+        """A scalar source on fused DOFs stays the replicated ensemble."""
+        scalar = DiscretePointSource(disc, _slot_sources(1)[0])
+        dofs = disc.allocate_dofs(n_fused=3)
+        scalar.inject(dofs, 0.0, 0.2)
+        np.testing.assert_array_equal(dofs[..., 0], dofs[..., 1])
+        np.testing.assert_array_equal(dofs[..., 0], dofs[..., 2])
+
+    def test_fused_point_force_scales_per_slot(self, disc):
+        stf = RickerWavelet(f0=5.0, t0=0.1)
+        sources = [
+            PointForceSource(LOCATION, np.array([0.0, 0.0, (1.0 + f) * 1e6]), stf)
+            for f in range(2)
+        ]
+        fused = DiscretePointSource(disc, sources)
+        dofs = disc.allocate_dofs(n_fused=2)
+        fused.inject(dofs, 0.0, 0.2)
+        k = fused.element
+        assert np.any(dofs[k, 8, :, 0] != 0.0)
+        # doubling the force doubles the injection exactly (same wavelet)
+        np.testing.assert_array_equal(dofs[k, 8, :, 1], 2.0 * dofs[k, 8, :, 0])
+
+
+class TestFusedReceiverTraces:
+    def test_receiver_demuxes_distinct_slots(self, disc):
+        """Distinct per-slot forces must produce diverging per-slot samples."""
+        stf = RickerWavelet(f0=5.0, t0=0.1)
+        sources = [
+            PointForceSource(LOCATION, np.array([0.0, 0.0, (1.0 + f) * 1e6]), stf)
+            for f in range(2)
+        ]
+        fused = DiscretePointSource(disc, sources)
+        dofs = disc.allocate_dofs(n_fused=2)
+        fused.inject(dofs, 0.0, 0.2)
+        receivers = ReceiverSet(disc, {"a": LOCATION})
+        assert receivers["a"].element == fused.element
+        receivers.record_all(0.2, dofs)
+        times, values = receivers["a"].seismogram()
+        assert values.shape == (1, 3, 2)
+        assert np.any(values[0, :, 0] != values[0, :, 1])
+
+    def test_end_to_end_per_slot_traces_diverge(self):
+        """A fused run with distinct per-slot sources records seismograms
+        whose slots diverge -- and whose slot traces differ from what the
+        replicated (identical-slots) ensemble would record."""
+        spec = get_scenario(
+            "loh3",
+            extent_m=8000.0,
+            characteristic_length=6000.0,
+            order=2,
+            n_mechanisms=1,
+            lam=1.0,
+            n_clusters=2,
+            n_cycles=2,
+        ).with_overrides(kernels="ref", precision="f64", n_fused=2)
+        from dataclasses import replace
+
+        slots = (
+            FusedSourceSpec(moment_scale=1.0),
+            FusedSourceSpec(
+                moment_scale=0.5,
+                time_function=dict(kind="ricker", params={"f0": 2.0, "t0": 0.6}),
+            ),
+        )
+        fused_spec = replace(spec, source=replace(spec.source, fused=slots))
+        runner = ScenarioRunner(fused_spec)
+        summary = runner.run()
+        assert summary["n_fused"] == 2
+        diverged = False
+        for receiver in runner.receivers.receivers:
+            _, values = receiver.seismogram()
+            assert values.shape[1:] == (3, 2)
+            if np.any(values[..., 0] != values[..., 1]):
+                diverged = True
+        assert diverged
+
+
+class TestFusedSourceSpec:
+    def _base_source(self):
+        return SourceSpec(
+            kind="moment_tensor",
+            location=(1.0, 2.0, -3.0),
+            time_function=TimeFunctionSpec(kind="ricker", params={"f0": 2.0, "t0": 0.4}),
+            moment_tensor=((0.0, 0.0, 1e9), (0.0, 0.0, 0.0), (1e9, 0.0, 0.0)),
+        )
+
+    def test_slot_applies_moment_scale_and_wavelet(self):
+        source = SourceSpec(
+            **{
+                **self._base_source().__dict__,
+                "fused": (
+                    FusedSourceSpec(moment_scale=1.0),
+                    FusedSourceSpec(
+                        moment_scale=0.5,
+                        time_function=dict(kind="ricker", params={"f0": 3.0, "t0": 0.7}),
+                    ),
+                ),
+            }
+        )
+        slot0, slot1 = source.slot(0), source.slot(1)
+        assert slot0.fused == () and slot1.fused == ()
+        assert slot0.moment_tensor == source.moment_tensor
+        assert slot1.moment_tensor[0][2] == 0.5 * source.moment_tensor[0][2]
+        assert slot0.time_function == source.time_function
+        assert slot1.time_function.params["f0"] == 3.0
+        # location is shared: fused ensembles use one source element
+        assert slot1.location == source.location
+
+    def test_slot_labels_are_json_ready(self):
+        source = SourceSpec(
+            **{
+                **self._base_source().__dict__,
+                "fused": (FusedSourceSpec(), FusedSourceSpec(moment_scale=0.25)),
+            }
+        )
+        labels = source.slot_labels()
+        assert [label["slot"] for label in labels] == [0, 1]
+        assert labels[1]["moment_scale"] == 0.25
+        assert labels[1]["moment_tensor"][0][2] == 0.25e9
+        import json
+
+        json.dumps(labels)  # must already be JSON-native
+
+    def test_fused_block_length_must_match_n_fused(self):
+        spec = get_scenario("loh3", extent_m=8000.0, characteristic_length=6000.0)
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="n_fused"):
+            replace(
+                spec.with_overrides(n_fused=3),
+                source=replace(spec.source, fused=(FusedSourceSpec(), FusedSourceSpec())),
+            )
+
+    def test_fused_spec_round_trips_through_json(self):
+        spec = get_scenario("loh3", extent_m=8000.0, characteristic_length=6000.0)
+        from dataclasses import replace
+
+        fused = replace(
+            spec.with_overrides(n_fused=2),
+            source=replace(
+                spec.source,
+                fused=(
+                    FusedSourceSpec(moment_scale=0.9),
+                    FusedSourceSpec(
+                        moment_scale=0.8,
+                        time_function=dict(kind="ricker", params={"f0": 2.5, "t0": 0.5}),
+                    ),
+                ),
+            ),
+        )
+        again = ScenarioSpec.from_json(fused.to_json())
+        assert again == fused
+        assert again.source.fused[1].time_function == TimeFunctionSpec(
+            kind="ricker", params={"f0": 2.5, "t0": 0.5}
+        )
+
+    def test_scalar_spec_serialisation_has_no_fused_key(self):
+        """Scalar specs keep the pre-fused serialisation (golden fixtures)."""
+        spec = get_scenario("loh3", extent_m=8000.0, characteristic_length=6000.0)
+        assert "fused" not in spec.to_dict()["source"]
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_slot_validation(self):
+        with pytest.raises(ValueError, match="finite"):
+            FusedSourceSpec(moment_scale=float("nan"))
+        base = self._base_source()
+        with pytest.raises(ValueError, match="force"):
+            SourceSpec(**{**base.__dict__, "fused": (FusedSourceSpec(force=(1.0, 0.0, 0.0)),)})

@@ -1,0 +1,218 @@
+"""Fused sweep collapse: grouping rules, demux byte-identity, manifest rows.
+
+``repro sweep --fuse`` may only change *how* members run, never *what* they
+produce: the per-member seismogram CSVs of a fused sweep must be
+byte-identical to the unfused sweep's (ref/f64), the manifest must stay
+per-member (with the grouping recorded on each row), and resume must keep
+working when the pending subset regroups differently than the original run.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.scenarios import FusedSourceSpec, get_scenario
+from repro.sweep import (
+    SweepAxis,
+    SweepSpec,
+    can_fuse,
+    collapse_members,
+    fusable_signature,
+    manifest_state,
+    plan_fused_groups,
+    read_manifest,
+    run_sweep,
+    validate_manifest,
+)
+
+T0_VALUES = [0.30, 0.40, 0.45, 0.50]
+
+
+def fusable_sweep(**overrides):
+    """Four members differing only in the wavelet onset: one fused group."""
+    options = dict(
+        order=2, n_clusters=2, lam=0.8, n_cycles=2, kernels="ref", precision="f64"
+    )
+    options.update(overrides)
+    base = get_scenario(
+        "loh3", extent_m=4000.0, characteristic_length=2000.0, n_mechanisms=1
+    ).with_overrides(**options)
+    return SweepSpec(
+        base=base,
+        axes=[SweepAxis(path="source.time_function.params.t0", values=T0_VALUES)],
+        name="fusable-onset-sweep",
+    )
+
+
+class TestGroupingRules:
+    def test_can_fuse_rejects_already_fused_members(self):
+        spec = fusable_sweep().base
+        assert can_fuse(spec)
+        assert not can_fuse(spec.with_overrides(n_fused=2))
+
+    def test_signature_ignores_fusable_axes_only(self):
+        members = fusable_sweep().expand()
+        signatures = {fusable_signature(m.spec) for m in members}
+        assert len(signatures) == 1  # t0 is a fusable axis
+        other = fusable_sweep(n_cycles=3).expand()[0]
+        assert fusable_signature(other.spec) not in signatures
+
+    def test_collapse_reconstructs_each_member_source(self):
+        members = fusable_sweep().expand()
+        collapsed = collapse_members(members)
+        assert collapsed.solver.n_fused == 4
+        assert len(collapsed.source.fused) == 4
+        for f, member in enumerate(members):
+            assert collapsed.source.slot(f) == member.spec.source
+
+    def test_plan_groups_by_signature_and_min_width(self):
+        members = fusable_sweep().expand()
+        groups, singles = plan_fused_groups(members)
+        assert len(groups) == 1 and not singles
+        assert groups[0].group_id == "fused-0000"
+        assert groups[0].width == 4
+        assert [m.member_id for m in groups[0].members] == [
+            "0000", "0001", "0002", "0003",
+        ]
+        # a lone pending member falls below min_width: runs standalone
+        groups, singles = plan_fused_groups(members[:1])
+        assert not groups and len(singles) == 1
+        # already-fused members never regroup
+        fused_member = members[0]
+        fused_spec = collapse_members(members)
+        object.__setattr__(fused_member, "spec", fused_spec)
+        groups, singles = plan_fused_groups([fused_member] + list(members[1:]))
+        assert all(m.spec.solver.n_fused == 0 for g in groups for m in g.members)
+        assert fused_member in singles
+
+    def test_mixed_axes_group_per_location(self):
+        base = fusable_sweep().base
+        sweep = SweepSpec(
+            base=base,
+            axes=[
+                SweepAxis(
+                    path="source.location",
+                    values=[[2000.0, 2000.0, -2000.0], [1500.0, 1500.0, -1500.0]],
+                ),
+                SweepAxis(path="source.time_function.params.t0", values=[0.3, 0.5]),
+            ],
+        )
+        groups, singles = plan_fused_groups(sweep.expand())
+        assert [g.width for g in groups] == [2, 2] and not singles
+        # groups collapse across t0 (fusable) but never across location
+        for group in groups:
+            locations = {m.spec.source.location for m in group.members}
+            assert len(locations) == 1
+
+
+@pytest.fixture(scope="module")
+def fused_and_unfused(tmp_path_factory):
+    """The same 4-member sweep run fused and unfused, for comparisons."""
+    sweep = fusable_sweep()
+    fused_dir = tmp_path_factory.mktemp("fused")
+    unfused_dir = tmp_path_factory.mktemp("unfused")
+    fused_tally = run_sweep(sweep, fused_dir, workers=0, fuse=True)
+    unfused_tally = run_sweep(sweep, unfused_dir, workers=0)
+    return sweep, fused_dir, fused_tally, unfused_dir, unfused_tally
+
+
+class TestFusedSweepEndToEnd:
+    def test_tally_reports_grouping(self, fused_and_unfused):
+        _, _, tally, _, unfused_tally = fused_and_unfused
+        assert tally["done"] == 4 and tally["failed"] == 0
+        assert tally["fused_groups"] == 1
+        assert tally["fused_members"] == 4
+        assert unfused_tally["done"] == 4
+        assert not unfused_tally.get("fused_groups")
+
+    def test_demuxed_artifacts_byte_identical_to_unfused(self, fused_and_unfused):
+        """The headline --fuse guarantee (ref/f64)."""
+        sweep, fused_dir, _, unfused_dir, _ = fused_and_unfused
+        for member in sweep.expand():
+            fused_member_dir = fused_dir / "members" / member.member_id
+            unfused_member_dir = unfused_dir / "members" / member.member_id
+            csvs = sorted(p.name for p in unfused_member_dir.glob("*.csv"))
+            assert csvs
+            for name in csvs:
+                assert (fused_member_dir / name).read_bytes() == (
+                    unfused_member_dir / name
+                ).read_bytes(), (member.member_id, name)
+
+    def test_member_summaries_annotated_with_slot(self, fused_and_unfused):
+        sweep, fused_dir, _, unfused_dir, _ = fused_and_unfused
+        for member in sweep.expand():
+            fused_summary = json.loads(
+                (fused_dir / "members" / member.member_id / "run_summary.json").read_text()
+            )
+            demux = fused_summary["fused_demux"]
+            assert demux["member"] == member.member_id
+            assert demux["group"] == "fused-0000"
+            assert demux["slot"] == member.index
+            assert demux["width"] == 4
+            assert demux["source"]["time_function"]["params"]["t0"] == pytest.approx(
+                T0_VALUES[member.index]
+            )
+            unfused_summary = json.loads(
+                (unfused_dir / "members" / member.member_id / "run_summary.json").read_text()
+            )
+            for key in ("t_end", "element_updates", "n_clusters", "n_elements"):
+                assert fused_summary[key] == unfused_summary[key], key
+
+    def test_group_artifacts_carry_the_fused_run(self, fused_and_unfused):
+        _, fused_dir, _, _, _ = fused_and_unfused
+        group_dir = fused_dir / "fused" / "fused-0000"
+        summary = json.loads((group_dir / "run_summary.json").read_text())
+        assert summary["n_fused"] == 4
+        assert len(summary["fused_sources"]) == 4
+        csvs = sorted(group_dir.glob("*.csv"))
+        assert csvs
+        header = csvs[0].read_text().splitlines()[0]
+        assert header.startswith("time,vx_0,vx_1,vx_2,vx_3")
+
+    def test_manifest_rows_stay_per_member_with_grouping(self, fused_and_unfused):
+        _, fused_dir, _, _, _ = fused_and_unfused
+        manifest = fused_dir / "manifest.jsonl"
+        report = validate_manifest(manifest)
+        assert report["complete"]
+        assert report["members"] == {"done": 4}
+        records = read_manifest(manifest)
+        done = [r for r in records
+                if r.get("record") == "member" and r["status"] == "done"]
+        assert len(done) == 4
+        for row in done:
+            assert row["fused_group"] == "fused-0000"
+            assert row["fused_width"] == 4
+            assert row["fused_slot"] == int(row["member"])
+
+    def test_resume_reruns_only_unfinished_member(self, fused_and_unfused, tmp_path):
+        """Drop 0002's done row: the resumed pending set (width 1) falls
+        below the fuse threshold and re-runs standalone -- whose artefacts
+        must still be byte-identical to the unfused sweep's."""
+        sweep, fused_dir, _, unfused_dir, _ = fused_and_unfused
+        clone = tmp_path / "clone"
+        shutil.copytree(fused_dir, clone)
+        manifest = clone / "manifest.jsonl"
+        kept = [
+            line for line in manifest.read_text().splitlines()
+            if not (
+                '"member": "0002"' in line and '"status": "done"' in line
+                or '"record": "final"' in line
+            )
+        ]
+        manifest.write_text("\n".join(kept) + "\n")
+        shutil.rmtree(clone / "members" / "0002")
+
+        tally = run_sweep(sweep, clone, workers=0, resume=True, fuse=True)
+        assert tally["skipped"] == 3
+        assert tally["done"] == 1
+        assert not tally.get("fused_groups")  # a single never fuses
+        state = manifest_state(read_manifest(manifest))
+        assert {m: r["status"] for m, r in state.items()} == {
+            m: "done" for m in ("0000", "0001", "0002", "0003")
+        }
+        for name in sorted(p.name for p in (unfused_dir / "members" / "0002").glob("*.csv")):
+            assert (clone / "members" / "0002" / name).read_bytes() == (
+                unfused_dir / "members" / "0002" / name
+            ).read_bytes()

@@ -41,9 +41,9 @@ class TestVerifySuite:
         report = verify_suite(kernels="fast")
         assert report["passed"]
         kinds = [check["kind"] for check in report["checks"]]
-        assert kinds == ["golden", "golden", "convergence"]
+        assert kinds == ["golden", "golden", "golden", "convergence"]
         scenarios = [check["scenario"] for check in report["checks"]]
-        assert scenarios == ["la_habra", "loh3", "plane_wave"]
+        assert scenarios == ["la_habra", "loh3", "loh3_fused2", "plane_wave"]
 
 
 class TestGoldenStructuralMismatch:
