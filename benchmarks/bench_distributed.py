@@ -21,7 +21,7 @@ from repro.scenarios import ScenarioRunner, get_scenario, make_runner
 from conftest import record_bench, record_result
 
 
-def _spec(n_ranks: int = 1, backend: str = "serial"):
+def _spec(n_ranks: int = 1, backend: str = "serial", comm: str | None = None):
     spec = get_scenario(
         "loh3",
         extent_m=6000.0,
@@ -33,7 +33,7 @@ def _spec(n_ranks: int = 1, backend: str = "serial"):
         n_cycles=2,
     )
     if n_ranks > 1:
-        spec = spec.with_overrides(n_ranks=n_ranks, backend=backend)
+        spec = spec.with_overrides(n_ranks=n_ranks, backend=backend, comm=comm)
     return spec
 
 
@@ -137,5 +137,54 @@ def test_backend_overlap_wall_clock():
         comm_bytes=results[4]["comm_bytes"],
         serial_wall_s=results[4]["serial_wall_s"],
         speedup_process_vs_serial=results[4]["speedup_process_vs_serial"],
+        cpu_count=cpu_count,
+    )
+
+
+def test_shm_transport_overlap_wall_clock():
+    """Queue vs shared-memory halo transport on the same 2-rank LOH.3 run.
+
+    Both transports move byte-identical logical traffic (asserted against
+    the exchange model); the shm transport replaces the per-batch pickle +
+    queue-feeder hop with an in-place ring-buffer write, so its wall clock
+    isolates the pure IPC tax of the queue path.  As with the overlap
+    points, ``cpu_count`` is the context: on a single-core box both
+    transports time-slice and the delta is pure transport overhead.
+    """
+    import multiprocessing
+
+    cpu_count = multiprocessing.cpu_count()
+    serial = make_runner(_spec(2, "serial"))
+    serial_summary = serial.run()
+    summaries = {}
+    for comm in ("queue", "shm"):
+        runner = make_runner(_spec(2, "process", comm))
+        summary = runner.run()
+        np.testing.assert_array_equal(runner.solver.dofs, serial.solver.dofs)
+        assert summary["comm"]["per_pair"] == serial_summary["comm"]["per_pair"]
+        assert (
+            summary["comm"]["measured_bytes_per_cycle"]
+            == summary["comm"]["model"]["total_bytes"]
+        )
+        summaries[comm] = summary
+    results = {
+        "cpu_count": cpu_count,
+        "serial_wall_s": serial_summary["wall_s"],
+        "queue_wall_s": summaries["queue"]["wall_s"],
+        "shm_wall_s": summaries["shm"]["wall_s"],
+        "speedup_shm_vs_queue": summaries["queue"]["wall_s"]
+        / summaries["shm"]["wall_s"],
+        "comm_bytes": summaries["shm"]["comm"]["n_bytes"],
+    }
+    record_result("distributed_shm_overlap", results)
+    record_bench(
+        "distributed_shm_overlap_2rank_loh3",
+        wall_s=summaries["shm"]["wall_s"],
+        element_updates_per_s=summaries["shm"]["element_updates_per_s"],
+        comm_bytes=results["comm_bytes"],
+        serial_wall_s=results["serial_wall_s"],
+        queue_wall_s=results["queue_wall_s"],
+        shm_wall_s=results["shm_wall_s"],
+        speedup_shm_vs_queue=results["speedup_shm_vs_queue"],
         cpu_count=cpu_count,
     )

@@ -48,6 +48,13 @@ class DistributedRunner(ScenarioRunner):
         # checkpoint I/O) next to the engine's per-rank lanes; sharing the
         # epoch puts all lanes on one trace timeline
         self.telemetry.lane = "driver"
+        engine_kwargs = {}
+        if spec.solver.backend == "process":
+            # comm transport and recv timeout only exist on the process
+            # engine; the serial engine's simulated communicator has neither
+            engine_kwargs["comm"] = spec.solver.comm
+            if spec.solver.comm_timeout is not None:
+                engine_kwargs["comm_timeout"] = spec.solver.comm_timeout
         self.engine = engine_cls(
             disc,
             self.clustering,
@@ -58,6 +65,7 @@ class DistributedRunner(ScenarioRunner):
             kernels=spec.solver.kernels,
             telemetry=self.telemetry_config,
             telemetry_epoch=self.telemetry.epoch,
+            **engine_kwargs,
         )
         return self.engine
 
@@ -117,6 +125,7 @@ class DistributedRunner(ScenarioRunner):
         out["n_ranks"] = self.engine.n_ranks
         out["backend"] = self.spec.solver.backend
         out["comm"] = {
+            "transport": getattr(self.engine, "comm_kind", "simulated"),
             "cycles_measured": cycles,
             "n_halo_faces": int(self.engine.halo.n_faces),
             # how much of the mesh sits on partition boundaries -- the work

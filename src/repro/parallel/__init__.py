@@ -12,6 +12,7 @@ from .exchange import (
 from .machine_model import FRONTERA_NODE, MachineNode, ScalingPoint, strong_scaling_study
 from .partition import PartitionResult, element_weights, face_weights, partition_dual_graph
 from .process_comm import ProcessCommunicator
+from .shm_comm import ShmCommunicator, ShmRing, ring_capacity
 
 __all__ = [
     "PartitionResult",
@@ -20,6 +21,9 @@ __all__ = [
     "partition_dual_graph",
     "SimulatedCommunicator",
     "ProcessCommunicator",
+    "ShmCommunicator",
+    "ShmRing",
+    "ring_capacity",
     "MessageStats",
     "pair_key",
     "HaloFace",

@@ -16,12 +16,31 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["MessageStats", "SimulatedCommunicator", "pair_key"]
+__all__ = ["MessageStats", "SimulatedCommunicator", "pair_key", "unflushed_note"]
 
 
 def pair_key(src: int, dst: int) -> str:
     """The JSON-safe ``"src->dst"`` key identifying a directed rank pair."""
     return f"{src}->{dst}"
+
+
+def unflushed_note(staged: dict[int, list]) -> str:
+    """Diagnostic suffix for a recv-timeout error: which staged sends never
+    left this rank.
+
+    A timeout with a non-empty stage almost always means a ``flush()`` call
+    was skipped somewhere in the schedule -- the peers are starving on
+    payloads that were posted but never shipped -- which is a very different
+    bug from a dead peer, so the error message must distinguish the two.
+    """
+    counts = {dst: len(items) for dst, items in staged.items() if items}
+    if not counts:
+        return ""
+    total = sum(counts.values())
+    return (
+        f"; {total} staged payload(s) for rank(s) {sorted(counts)} were never "
+        "flushed and did NOT travel (staged sends only ship on flush())"
+    )
 
 
 @dataclass

@@ -31,10 +31,11 @@ from __future__ import annotations
 
 import queue as _queue
 from collections import defaultdict, deque
+from itertools import groupby
 
 import numpy as np
 
-from .communicator import MessageStats
+from .communicator import MessageStats, unflushed_note
 
 __all__ = ["ProcessCommunicator"]
 
@@ -76,16 +77,23 @@ class ProcessCommunicator:
     def flush(self) -> None:
         """Ship every staged batch, one queue item per destination rank.
 
-        The payloads of a batch share one shape (all halo payloads are
+        The payloads of a batch usually share one shape (halo payloads are
         ``9 x F`` face-local blocks), so they travel stacked in a single
-        array: one pickle per rank pair per micro step.
+        array: one pickle per rank pair per micro step.  Mixed-shape stages
+        (e.g. mixed-width fused groups) ship as one item per *contiguous
+        run* of equal shape and dtype -- runs, not a shape-keyed
+        regrouping, so per-channel FIFO order survives the batching.
         """
         for dst, staged in self._staged.items():
             if not staged:
                 continue
-            tags = np.array([tag for tag, _ in staged], dtype=np.int64)
-            stacked = np.stack([payload for _, payload in staged])
-            self._outbound[dst].put((self.rank, tags, stacked))
+            for _, run in groupby(
+                staged, key=lambda item: (item[1].shape, item[1].dtype.str)
+            ):
+                batch = list(run)
+                tags = np.array([tag for tag, _ in batch], dtype=np.int64)
+                stacked = np.stack([payload for _, payload in batch])
+                self._outbound[dst].put((self.rank, tags, stacked))
             staged.clear()
 
     def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
@@ -100,6 +108,7 @@ class ProcessCommunicator:
                 raise RuntimeError(
                     f"rank {self.rank}: no halo payload from rank {src} (tag {tag}) "
                     f"within {self.timeout:.0f} s -- peer died or schedule mismatch"
+                    f"{unflushed_note(self._staged)}"
                 ) from None
         return mailbox.popleft()
 
@@ -112,9 +121,13 @@ class ProcessCommunicator:
         return len(self._mailboxes[(src, tag)])
 
     def _ingest(self, item) -> None:
+        # copy, don't slice: a `stacked[index]` view keeps the whole
+        # unpickled batch alive until the *last* message of the batch is
+        # consumed, which on wide batches holds a multiple of the live halo
+        # working set in memory
         src, tags, stacked = item
         for index, tag in enumerate(tags):
-            self._mailboxes[(int(src), int(tag))].append(stacked[index])
+            self._mailboxes[(int(src), int(tag))].append(stacked[index].copy())
 
     def _drain(self) -> None:
         while True:
@@ -137,3 +150,8 @@ class ProcessCommunicator:
         return all(len(staged) == 0 for staged in self._staged.values()) and all(
             len(mailbox) == 0 for mailbox in self._mailboxes.values()
         )
+
+    def close(self) -> None:
+        """No-op: the queue transport holds no resources of its own (queues
+        belong to the engine).  Exists so workers can close any communicator
+        uniformly -- the shm transport must detach its ring segments."""

@@ -860,6 +860,7 @@ class ScenarioRunner:
         path,
         *,
         backend: str | None = None,
+        comm: str | None = None,
         kernels: str | None = None,
         telemetry: bool | None = None,
         trace: bool | None = None,
@@ -891,7 +892,17 @@ class ScenarioRunner:
                 )
             spec = ScenarioSpec.from_dict(meta["spec"])
             if backend is not None:
-                spec = spec.with_overrides(backend=backend)
+                # a shm-transport checkpoint resumed onto the serial backend
+                # drops back to the (backend-agnostic) queue default rather
+                # than tripping the shm-requires-process validation
+                if backend != "process" and comm is None and spec.solver.comm != "queue":
+                    spec = spec.with_overrides(backend=backend, comm="queue")
+                else:
+                    spec = spec.with_overrides(backend=backend)
+            if comm is not None:
+                # the halo transport is bit-identical either way, so it can
+                # change freely across a resume (like the backend)
+                spec = spec.with_overrides(comm=comm)
             if kernels is not None and kernels != spec.solver.kernels:
                 if spec.solver.precision == "f32":
                     raise ValueError(

@@ -45,6 +45,7 @@ __all__ = [
     "ScenarioSpec",
     "SOLVER_KINDS",
     "SOLVER_BACKENDS",
+    "SOLVER_COMMS",
     "SOLVER_KERNELS",
     "SOLVER_PRECISIONS",
     "VELOCITY_MODEL_KINDS",
@@ -57,6 +58,8 @@ __all__ = [
 
 SOLVER_KINDS = ("gts", "lts", "legacy-lts")
 SOLVER_BACKENDS = ("serial", "process")
+# kept in sync with repro.distributed.process_engine.COMM_KINDS
+SOLVER_COMMS = ("queue", "shm")
 # kept in sync with repro.kernels.backend.KERNEL_KINDS and
 # repro.kernels.discretization.PRECISIONS (spec stays import-light)
 SOLVER_KERNELS = ("ref", "opt", "fast")
@@ -454,6 +457,13 @@ class SolverSpec:
     execute: ``"serial"`` steps them in-process through the simulated
     communicator, ``"process"`` runs one worker process per rank with real
     overlapped halo exchange -- results are bit-identical either way.
+    ``comm`` picks the process backend's halo transport: ``"queue"`` ships
+    pickled payload batches through multiprocessing queues, ``"shm"`` writes
+    payloads in place into per-rank-pair shared-memory ring buffers (the
+    queues carry only tokens) -- bit-identical results and identical byte
+    accounting; ``"shm"`` is only valid with ``backend="process"``.
+    ``comm_timeout`` bounds a blocked halo receive in seconds (``None``
+    defers to the engine default / ``REPRO_HALO_TIMEOUT_S``).
     ``kernels`` selects the kernel-execution backend: ``"ref"`` (the plain
     reference kernels), ``"opt"`` (precompiled contraction plans, batched
     structure-exploiting einsums and reusable scratch workspaces; at f64
@@ -474,6 +484,8 @@ class SolverSpec:
     cfl: float = 0.5
     n_ranks: int = 1
     backend: str = "serial"
+    comm: str = "queue"
+    comm_timeout: float | None = None
     kernels: str | None = None
     precision: str = "f64"
 
@@ -498,6 +510,17 @@ class SolverSpec:
             raise ValueError(f"solver backend must be one of {SOLVER_BACKENDS}")
         if self.backend == "process" and self.n_ranks < 2:
             raise ValueError("the process backend requires n_ranks >= 2 (pass --ranks)")
+        if self.comm not in SOLVER_COMMS:
+            raise ValueError(f"solver comm must be one of {SOLVER_COMMS}")
+        if self.comm != "queue" and self.backend != "process":
+            raise ValueError(
+                f"comm={self.comm!r} requires backend='process' (shared-memory "
+                "rings only exist between rank worker processes)"
+            )
+        if self.comm_timeout is not None:
+            object.__setattr__(self, "comm_timeout", float(self.comm_timeout))
+            if self.comm_timeout <= 0:
+                raise ValueError("comm_timeout must be positive (seconds)")
         if self.kernels not in SOLVER_KERNELS:
             raise ValueError(f"solver kernels must be one of {SOLVER_KERNELS}")
         if self.precision not in SOLVER_PRECISIONS:
@@ -677,6 +700,8 @@ class ScenarioSpec:
         flux: str | None = None,
         n_ranks: int | None = None,
         backend: str | None = None,
+        comm: str | None = None,
+        comm_timeout: float | None | str = "keep",
         kernels: str | None = None,
         precision: str | None = None,
         n_cycles: int | None = None,
@@ -712,6 +737,10 @@ class ScenarioSpec:
             solver_updates["n_ranks"] = n_ranks
         if backend is not None:
             solver_updates["backend"] = backend
+        if comm is not None:
+            solver_updates["comm"] = comm
+        if comm_timeout != "keep":
+            solver_updates["comm_timeout"] = comm_timeout
         if kernels is not None:
             solver_updates["kernels"] = kernels
         if precision is not None:

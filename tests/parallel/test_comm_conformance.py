@@ -1,0 +1,207 @@
+"""One behavioural contract, three communicators.
+
+The distributed steppers only ever see the communicator interface --
+``send``/``flush``/``recv``/``pending``/``stats``/``all_delivered`` -- so
+every implementation (in-process simulated, multiprocessing queues,
+shared-memory rings) must satisfy the same observable semantics: FIFO order
+per ``(src, tag)`` channel, statically-counted receives, excess-message
+detection through ``all_delivered``, and send-side byte accounting that
+matches the payloads exactly.  This suite runs the contract against all
+three, wired up in-process (the engine tests cover the cross-process path).
+"""
+
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.communicator import SimulatedCommunicator, pair_key
+from repro.parallel.process_comm import ProcessCommunicator
+from repro.parallel.shm_comm import ShmCommunicator, ShmRing, create_ring_segment
+
+N_RANKS = 2
+KINDS = ("simulated", "process", "shm")
+
+
+class _Fabric:
+    """All ranks' endpoints of one communicator kind, plus their cleanup."""
+
+    def __init__(self, kind: str, timeout: float = 10.0, capacity: int = 1 << 16):
+        self.kind = kind
+        self._segments = []
+        if kind == "simulated":
+            shared = SimulatedCommunicator(N_RANKS)
+            self.comms = [shared] * N_RANKS
+            return
+        ctx = multiprocessing.get_context()
+        inbound = [ctx.Queue() for _ in range(N_RANKS)]
+        outbound = [
+            {dst: inbound[dst] for dst in range(N_RANKS) if dst != rank}
+            for rank in range(N_RANKS)
+        ]
+        if kind == "process":
+            self.comms = [
+                ProcessCommunicator(
+                    rank, N_RANKS, inbound[rank], outbound[rank], timeout=timeout
+                )
+                for rank in range(N_RANKS)
+            ]
+            return
+        names = {}
+        for src in range(N_RANKS):
+            for dst in range(N_RANKS):
+                if src == dst:
+                    continue
+                name = f"repro-test-{id(self)}-{src}to{dst}"
+                self._segments.append(create_ring_segment(name, capacity))
+                names[(src, dst)] = name
+        self.comms = [
+            ShmCommunicator(
+                rank,
+                N_RANKS,
+                inbound[rank],
+                outbound[rank],
+                tx={d: ShmRing.attach(names[(rank, d)]) for d in range(N_RANKS) if d != rank},
+                rx={s: ShmRing.attach(names[(s, rank)]) for s in range(N_RANKS) if s != rank},
+                timeout=timeout,
+            )
+            for rank in range(N_RANKS)
+        ]
+
+    def flush(self, rank: int) -> None:
+        flush = getattr(self.comms[rank], "flush", None)
+        if flush is not None:
+            flush()
+
+    def wait_pending(self, src: int, dst: int, tag: int, count: int) -> int:
+        """Poll until ``pending`` reports at least ``count`` arrivals (the
+        async transports ship through a feeder thread)."""
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            n = self.comms[dst].pending(src, dst, tag)
+            if n >= count:
+                return n
+            time.sleep(0.005)
+        return self.comms[dst].pending(src, dst, tag)
+
+    def close(self) -> None:
+        for comm in self.comms:
+            close = getattr(comm, "close", None)
+            if close is not None:
+                close()
+        for shm in self._segments:
+            shm.close()
+            shm.unlink()
+
+
+@pytest.fixture(params=KINDS)
+def fabric(request):
+    fab = _Fabric(request.param)
+    yield fab
+    fab.close()
+
+
+class TestConformance:
+    def test_roundtrip_preserves_payload_and_dtype(self, fabric):
+        payload = np.arange(12, dtype=np.float64).reshape(3, 4) * np.pi
+        fabric.comms[0].send(payload, src=0, dst=1, tag=5)
+        fabric.flush(0)
+        received = fabric.comms[1].recv(src=0, dst=1, tag=5)
+        np.testing.assert_array_equal(received, payload)
+        assert received.dtype == payload.dtype and received.shape == payload.shape
+
+    def test_fifo_per_channel_across_interleaved_tags(self, fabric):
+        send, flush = fabric.comms[0].send, lambda: fabric.flush(0)
+        send(np.full(2, 1.0), src=0, dst=1, tag=7)
+        send(np.full(2, 9.0), src=0, dst=1, tag=8)
+        flush()
+        send(np.full(2, 2.0), src=0, dst=1, tag=7)
+        flush()
+        recv = fabric.comms[1].recv
+        assert recv(0, 1, tag=7)[0] == 1.0
+        assert recv(0, 1, tag=8)[0] == 9.0
+        assert recv(0, 1, tag=7)[0] == 2.0
+
+    def test_static_count_recv_consumes_exactly_what_was_sent(self, fabric):
+        # the steppers consume a statically known message count per
+        # correction; the channel must deliver exactly that many
+        n_messages = 5
+        for i in range(n_messages):
+            fabric.comms[0].send(np.full(3, float(i)), src=0, dst=1, tag=0)
+        fabric.flush(0)
+        values = [fabric.comms[1].recv(0, 1, tag=0)[0] for _ in range(n_messages)]
+        assert values == [float(i) for i in range(n_messages)]
+        assert fabric.comms[1].all_delivered()
+
+    def test_all_delivered_flags_excess_messages(self, fabric):
+        fabric.comms[0].send(np.ones(4), src=0, dst=1, tag=0)
+        fabric.flush(0)
+        assert fabric.wait_pending(0, 1, 0, 1) == 1
+        assert not fabric.comms[1].all_delivered()
+        fabric.comms[1].recv(0, 1, tag=0)
+        assert fabric.comms[1].all_delivered()
+
+    def test_bidirectional_exchange(self, fabric):
+        fabric.comms[0].send(np.full(2, 10.0), src=0, dst=1, tag=1)
+        fabric.comms[1].send(np.full(2, 20.0), src=1, dst=0, tag=1)
+        fabric.flush(0)
+        fabric.flush(1)
+        assert fabric.comms[1].recv(0, 1, tag=1)[0] == 10.0
+        assert fabric.comms[0].recv(1, 0, tag=1)[0] == 20.0
+
+    def test_stats_match_sent_payload_bytes_exactly(self, fabric):
+        # the byte-accounting contract: measured traffic is the sum of the
+        # logical payloads' nbytes, per directed pair -- the same quantity
+        # exchange_volumes_per_cycle models
+        payloads_01 = [np.zeros((9, 2)), np.zeros((9, 2)), np.zeros(7)]
+        payloads_10 = [np.zeros((4, 3), dtype=np.float32)]
+        for p in payloads_01:
+            fabric.comms[0].send(p, src=0, dst=1, tag=0)
+        for p in payloads_10:
+            fabric.comms[1].send(p, src=1, dst=0, tag=0)
+        fabric.flush(0)
+        fabric.flush(1)
+        for _ in payloads_01:
+            fabric.comms[1].recv(0, 1, tag=0)
+        for _ in payloads_10:
+            fabric.comms[0].recv(1, 0, tag=0)
+        if fabric.kind == "simulated":
+            stats = fabric.comms[0].stats
+            per_pair = stats.per_pair
+        else:
+            per_pair = {}
+            for comm in fabric.comms:
+                for pair, entry in comm.stats.per_pair.items():
+                    per_pair[pair] = entry
+        expected_01 = sum(p.nbytes for p in payloads_01)
+        expected_10 = sum(p.nbytes for p in payloads_10)
+        assert per_pair[pair_key(0, 1)] == {
+            "messages": len(payloads_01),
+            "bytes": expected_01,
+        }
+        assert per_pair[pair_key(1, 0)] == {
+            "messages": len(payloads_10),
+            "bytes": expected_10,
+        }
+
+    def test_mixed_shapes_to_one_destination_in_one_flush(self, fabric):
+        # mixed-width fused groups stage differently shaped payloads for one
+        # destination within one micro step
+        send = fabric.comms[0].send
+        send(np.full((9, 2), 1.0), src=0, dst=1, tag=0)
+        send(np.full((9, 4), 2.0), src=0, dst=1, tag=1)
+        send(np.full((9, 2), 3.0), src=0, dst=1, tag=0)
+        fabric.flush(0)
+        recv = fabric.comms[1].recv
+        first = recv(0, 1, tag=0)
+        wide = recv(0, 1, tag=1)
+        second = recv(0, 1, tag=0)
+        assert first.shape == (9, 2) and first[0, 0] == 1.0
+        assert wide.shape == (9, 4) and wide[0, 0] == 2.0
+        assert second.shape == (9, 2) and second[0, 0] == 3.0
+        assert fabric.comms[1].all_delivered()
+
+    def test_rank_validation(self, fabric):
+        with pytest.raises(ValueError):
+            fabric.comms[0].send(np.zeros(1), src=0, dst=N_RANKS + 3)

@@ -201,6 +201,43 @@ class TestProcessCommunicator:
         with pytest.raises(RuntimeError, match="no halo payload"):
             receiver.recv(src=0, dst=1, tag=0)
 
+    def test_timeout_error_reports_unflushed_staged_sends(self):
+        # a stage that never flushed is a schedule bug, not a dead peer --
+        # the timeout diagnostics must say so (and how much never travelled)
+        sender, _ = _wire_process_comms(timeout=0.2)
+        sender.send(np.zeros(3), src=0, dst=1, tag=0)
+        sender.send(np.zeros(3), src=0, dst=1, tag=1)
+        with pytest.raises(RuntimeError, match=r"2 staged payload\(s\).*never\s+flushed"):
+            sender.recv(src=1, dst=0, tag=0)
+
+    def test_mixed_shape_payloads_flush_in_fifo_order(self):
+        # one destination, one micro step, three payloads of two different
+        # shapes (mixed-width fused groups): np.stack over the whole stage
+        # used to raise ValueError here
+        sender, receiver = _wire_process_comms()
+        sender.send(np.full((9, 2), 1.0), src=0, dst=1, tag=0)
+        sender.send(np.full((9, 4), 2.0), src=0, dst=1, tag=1)
+        sender.send(np.full((9, 2), 3.0), src=0, dst=1, tag=0)
+        sender.flush()
+        assert receiver.recv(0, 1, tag=0)[0, 0] == 1.0
+        wide = receiver.recv(0, 1, tag=1)
+        assert wide.shape == (9, 4) and wide[0, 0] == 2.0
+        assert receiver.recv(0, 1, tag=0)[0, 0] == 3.0
+        assert receiver.all_delivered()
+
+    def test_ingest_copies_release_the_stacked_batch(self):
+        # a `stacked[index]` view would pin the whole unpickled batch alive
+        # until its last message is consumed; ingest must copy instead
+        sender, receiver = _wire_process_comms()
+        for tag in range(4):
+            sender.send(np.full((2, 3), float(tag)), src=0, dst=1, tag=tag)
+        sender.flush()
+        first = receiver.recv(0, 1, tag=0)
+        assert first.base is None  # an owned copy, not a view of the batch
+        for mailbox in receiver._mailboxes.values():
+            for message in mailbox:
+                assert message.base is None
+
     def test_endpoint_validation(self):
         sender, receiver = _wire_process_comms()
         with pytest.raises(ValueError, match="cannot send as"):

@@ -1,0 +1,189 @@
+"""Ring-buffer mechanics of the shared-memory halo transport.
+
+The conformance suite (:mod:`tests.parallel.test_comm_conformance`) pins the
+interface semantics; this file exercises the parts specific to the shm
+implementation: wraparound allocation with tail padding, space accounting
+against the consumer-published ``released`` counter, the blocking allocator
+(including its partial-token early ship), and capacity sizing/limits.
+"""
+
+import multiprocessing
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.shm_comm import (
+    HEADER_BYTES,
+    ShmCommunicator,
+    ShmRing,
+    create_ring_segment,
+    ring_capacity,
+)
+
+
+@pytest.fixture
+def segment(request):
+    shm = create_ring_segment(f"repro-test-ring-{id(request)}", 256)
+    yield shm
+    shm.close()
+    shm.unlink()
+
+
+class TestShmRing:
+    def test_allocate_write_read_release(self, segment):
+        producer, consumer = ShmRing(segment), ShmRing.attach(segment.name)
+        offset, advance = producer.try_allocate(64)
+        assert (offset, advance) == (0, 64)
+        payload = np.arange(8, dtype=np.float64)
+        np.copyto(producer.view(offset, payload.shape, payload.dtype), payload)
+        np.testing.assert_array_equal(
+            consumer.view(offset, payload.shape, payload.dtype), payload
+        )
+        consumer.release(advance)
+        assert producer.released() == 64
+        consumer.close()
+
+    def test_wraparound_pads_over_the_segment_end(self, segment):
+        producer, consumer = ShmRing(segment), ShmRing.attach(segment.name)
+        for _ in range(3):  # written = 240, 16 bytes of tail left
+            offset, advance = producer.try_allocate(80)
+            consumer.release(advance)
+        assert producer.written == 240
+        offset, advance = producer.try_allocate(80)
+        # the 16-byte tail cannot hold the payload: the allocation pads over
+        # it and the data lands at the ring start
+        assert offset == 0 and advance == 16 + 80
+        payload = np.arange(10, dtype=np.float64)
+        np.copyto(producer.view(offset, payload.shape, payload.dtype), payload)
+        np.testing.assert_array_equal(
+            consumer.view(offset, payload.shape, payload.dtype), payload
+        )
+        consumer.close()
+
+    def test_full_ring_refuses_until_released(self, segment):
+        producer, consumer = ShmRing(segment), ShmRing.attach(segment.name)
+        offset, advance = producer.try_allocate(256)  # the whole capacity
+        assert producer.try_allocate(1) is None
+        consumer.release(advance)
+        assert producer.try_allocate(1) is not None
+        consumer.close()
+
+    def test_oversized_payload_is_an_error(self, segment):
+        with pytest.raises(ValueError, match="exceeds the ring capacity"):
+            ShmRing(segment).try_allocate(257)
+
+    def test_capacity_derives_from_segment_size(self, segment):
+        assert ShmRing.attach(segment.name).capacity == 256
+        assert segment.size >= HEADER_BYTES + 256
+
+
+class TestRingCapacity:
+    def test_minimum_floor(self):
+        assert ring_capacity(0) == 1 << 16
+        assert ring_capacity(100) == 1 << 16
+
+    def test_scales_with_modelled_traffic(self):
+        # four cycles deep, rounded up to a power of two
+        assert ring_capacity(100_000) == 1 << 19
+        assert ring_capacity(1 << 20) == 1 << 22
+
+
+def _shm_pair(capacity: int, timeout: float = 10.0):
+    """Two in-process ShmCommunicator endpoints over tiny rings."""
+    ctx = multiprocessing.get_context()
+    inbound = [ctx.Queue(), ctx.Queue()]
+    segments, rings = [], {}
+    for src, dst in ((0, 1), (1, 0)):
+        name = f"repro-test-pair-{id(inbound)}-{src}to{dst}"
+        segments.append(create_ring_segment(name, capacity))
+        rings[(src, dst)] = name
+    comms = [
+        ShmCommunicator(
+            rank,
+            2,
+            inbound[rank],
+            {1 - rank: inbound[1 - rank]},
+            tx={1 - rank: ShmRing.attach(rings[(rank, 1 - rank)])},
+            rx={1 - rank: ShmRing.attach(rings[(1 - rank, rank)])},
+            timeout=timeout,
+        )
+        for rank in (0, 1)
+    ]
+
+    def close():
+        for comm in comms:
+            comm.close()
+        for shm in segments:
+            shm.close()
+            shm.unlink()
+
+    return comms, close
+
+
+class TestShmCommunicatorBackpressure:
+    def test_ring_recycles_across_many_flushes(self):
+        # cumulative traffic is many times the ring capacity; consuming as
+        # we go keeps the ring recycling without ever blocking
+        comms, close = _shm_pair(capacity=1 << 10)
+        try:
+            payload = np.arange(32, dtype=np.float64)  # 256 bytes
+            for i in range(64):  # 16 KiB total through a 1 KiB ring
+                comms[0].send(payload + i, src=0, dst=1, tag=0)
+                comms[0].flush()
+                np.testing.assert_array_equal(
+                    comms[1].recv(0, 1, tag=0), payload + i
+                )
+        finally:
+            close()
+
+    def test_full_ring_blocks_then_completes_when_consumer_drains(self):
+        comms, close = _shm_pair(capacity=1 << 10)
+        try:
+            payload = np.zeros(48, dtype=np.float64)  # 384 bytes
+            n_messages = 5  # 1920 bytes staged, ring holds 1024: flush must wait
+            for i in range(n_messages):
+                comms[0].send(payload + i, src=0, dst=1, tag=0)
+
+            received = []
+
+            def consume():
+                for _ in range(n_messages):
+                    received.append(comms[1].recv(0, 1, tag=0)[0])
+
+            consumer = threading.Thread(target=consume)
+            consumer.start()
+            comms[0].flush()  # blocks mid-batch until the consumer releases
+            consumer.join(timeout=10.0)
+            assert not consumer.is_alive()
+            assert received == [float(i) for i in range(n_messages)]
+        finally:
+            close()
+
+    def test_full_ring_without_consumer_times_out_loudly(self):
+        comms, close = _shm_pair(capacity=1 << 10, timeout=0.2)
+        try:
+            payload = np.zeros(48, dtype=np.float64)
+            for i in range(5):
+                comms[0].send(payload, src=0, dst=1, tag=0)
+            with pytest.raises(RuntimeError, match="stayed full"):
+                comms[0].flush()
+        finally:
+            close()
+
+    def test_received_arrays_are_copies_not_ring_views(self):
+        # a recv'd payload must survive the ring slot being overwritten
+        comms, close = _shm_pair(capacity=1 << 10)
+        try:
+            first = np.full(16, 7.0)
+            comms[0].send(first, src=0, dst=1, tag=0)
+            comms[0].flush()
+            held = comms[1].recv(0, 1, tag=0)
+            assert held.base is None  # an owned copy, not a shm view
+            for i in range(64):  # force the ring to reuse the slot
+                comms[0].send(np.full(16, float(i)), src=0, dst=1, tag=0)
+                comms[0].flush()
+                comms[1].recv(0, 1, tag=0)
+            np.testing.assert_array_equal(held, first)
+        finally:
+            close()

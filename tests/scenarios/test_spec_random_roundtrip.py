@@ -16,6 +16,7 @@ import pytest
 from repro.scenarios.registry import scenario_names, get_scenario
 from repro.scenarios.spec import (
     SOLVER_BACKENDS,
+    SOLVER_COMMS,
     SOLVER_KERNELS,
     SOLVER_KINDS,
     SOLVER_PRECISIONS,
@@ -37,6 +38,10 @@ def _sample_solver_kwargs(rng):
         cfl=float(rng.uniform(0.05, 1.0)),
         n_ranks=n_ranks,
         backend=str(rng.choice(SOLVER_BACKENDS)),
+        comm=str(rng.choice(SOLVER_COMMS)),
+        comm_timeout=(
+            None if rng.random() < 0.5 else float(rng.uniform(0.1, 600.0))
+        ),
         kernels=str(rng.choice(SOLVER_KERNELS)),
         precision=str(rng.choice(SOLVER_PRECISIONS)),
     )
@@ -46,6 +51,8 @@ def _is_valid_solver(kwargs) -> bool:
     if kwargs["n_ranks"] > 1 and kwargs["kind"] == "gts":
         return False
     if kwargs["backend"] == "process" and kwargs["n_ranks"] < 2:
+        return False
+    if kwargs["comm"] != "queue" and kwargs["backend"] != "process":
         return False
     return True
 
@@ -73,6 +80,9 @@ class TestRandomSolverSpecs:
         [
             dict(kind="gts", n_ranks=2),
             dict(backend="process", n_ranks=1),
+            dict(comm="shm"),
+            dict(comm="mpi", backend="process", n_ranks=2),
+            dict(comm_timeout=-1.0),
             dict(kernels="native"),
             dict(precision="f16"),
             dict(n_fused=-1),
@@ -94,7 +104,7 @@ class TestRandomScenarioSpecs:
         checked = 0
         for name in scenario_names():
             base = get_scenario(name)
-            for _ in range(10):
+            for _ in range(16):
                 kwargs = _sample_solver_kwargs(rng)
                 if not _is_valid_solver(kwargs):
                     continue
